@@ -1,0 +1,178 @@
+package hunipu
+
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation at bench-friendly scale. Full-scale reproductions (the
+// published grid up to n = 8192) run through cmd/experiments -full;
+// EXPERIMENTS.md records paper-vs-measured for both.
+
+import (
+	"testing"
+
+	"hunipu/internal/bench"
+	"hunipu/internal/core"
+	"hunipu/internal/cpuhung"
+	"hunipu/internal/datasets"
+	"hunipu/internal/fastha"
+	"hunipu/internal/graphalign"
+	"hunipu/internal/lsap"
+)
+
+func benchConfig() bench.Config {
+	return bench.Config{
+		Sizes:       []int{64, 128},
+		Ks:          []int{10, 500},
+		Fig5Ks:      []int{10, 500},
+		NoiseLevels: []float64{0.90, 0.99},
+		GraphScale:  0.1,
+		Seed:        1,
+	}
+}
+
+func newBenchHarness(b *testing.B) *bench.Harness {
+	b.Helper()
+	h, err := bench.NewHarness(benchConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return h
+}
+
+// BenchmarkTable1Datasets regenerates Table I (dataset characteristics).
+func BenchmarkTable1Datasets(b *testing.B) {
+	h := newBenchHarness(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Table1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2SpeedupVsCPU regenerates Table II (HunIPU vs CPU
+// runtime gain on Gaussian data).
+func BenchmarkTable2SpeedupVsCPU(b *testing.B) {
+	h := newBenchHarness(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Table2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5FastHAvsHunIPU regenerates Figure 5 (runtime of FastHA
+// vs HunIPU across sizes and value ranges).
+func BenchmarkFig5FastHAvsHunIPU(b *testing.B) {
+	h := newBenchHarness(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Fig5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3GraphAlignment regenerates Table III (graph-alignment
+// runtimes on the three real-world datasets).
+func BenchmarkTable3GraphAlignment(b *testing.B) {
+	h := newBenchHarness(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Table3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableUniform regenerates the uniform-data variant the paper
+// summarises in the text of Section V-A/V-B.
+func BenchmarkTableUniform(b *testing.B) {
+	h := newBenchHarness(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := h.TableUniform(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblations regenerates the design-choice ablation table
+// (1D vs 2D mapping, compression, segment sizes, thread counts).
+func BenchmarkAblations(b *testing.B) {
+	h := newBenchHarness(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Ablations(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Per-solver microbenchmarks on one Figure-5 workload (n=128, 500n).
+
+func fig5Workload(b *testing.B) *lsap.Matrix {
+	b.Helper()
+	m, err := datasets.Gaussian(128, 500, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func BenchmarkSolverHunIPU(b *testing.B) {
+	m := fig5Workload(b)
+	s, err := core.New(core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Solve(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolverFastHA(b *testing.B) {
+	m := fig5Workload(b)
+	s, err := fastha.New(fastha.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Solve(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolverCPUJV(b *testing.B) {
+	m := fig5Workload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (cpuhung.JV{}).Solve(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGrampa measures the similarity-matrix substrate on the
+// scaled HighSchool analogue.
+func BenchmarkGrampa(b *testing.B) {
+	g, _, err := datasets.ScaledRealGraph(datasets.HighSchool, 1, 0.2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := graphalign.Grampa(g, g, graphalign.DefaultEta); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolverZoo compares every solver in the repository on one
+// workload (extended baseline study beyond the paper's two).
+func BenchmarkSolverZoo(b *testing.B) {
+	h := newBenchHarness(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Zoo(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

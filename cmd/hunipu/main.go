@@ -1,0 +1,167 @@
+// Command hunipu solves a Linear Sum Assignment Problem from a matrix
+// file (or a generated workload) on the simulated IPU, the simulated
+// GPU baseline, or the CPU baseline, and prints the assignment with
+// the device profile.
+//
+// Usage:
+//
+//	hunipu -in matrix.txt                 # solve a file on the IPU
+//	hunipu -n 256 -k 500 -device gpu      # generate and solve
+//	hunipu -n 128 -device all             # compare every device
+//
+// The matrix format is the one cmd/datasetgen writes: a size line
+// followed by one whitespace-separated row per line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hunipu/internal/core"
+	"hunipu/internal/cpuhung"
+	"hunipu/internal/datasets"
+	"hunipu/internal/fastha"
+	"hunipu/internal/lsap"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hunipu:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	in := flag.String("in", "", "matrix file to solve (see cmd/datasetgen)")
+	n := flag.Int("n", 0, "generate an n×n Gaussian matrix instead of reading -in")
+	k := flag.Int("k", 100, "value-range multiplier for generated matrices (range [1,k·n])")
+	seed := flag.Int64("seed", 1, "generator seed")
+	device := flag.String("device", "ipu", "ipu, gpu, cpu, or all")
+	showAssign := flag.Bool("assign", false, "print the full assignment")
+	profile := flag.Bool("profile", false, "print the IPU per-compute-set breakdown")
+	trace := flag.String("trace", "", "write the IPU BSP timeline as Chrome trace JSON to this file")
+	flag.Parse()
+	profileIPU = *profile
+	tracePath = *trace
+
+	var (
+		m   *lsap.Matrix
+		err error
+	)
+	switch {
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		m, err = lsap.ReadMatrix(f)
+		if err != nil {
+			return err
+		}
+	case *n > 0:
+		m, err = datasets.Gaussian(*n, *k, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("generated %dx%d Gaussian matrix, range [1,%d]\n", *n, *n, *k**n)
+	default:
+		return fmt.Errorf("provide -in FILE or -n SIZE")
+	}
+
+	devices := []string{*device}
+	if *device == "all" {
+		devices = []string{"ipu", "gpu", "cpu"}
+	}
+	for _, d := range devices {
+		if err := solveOn(d, m, *showAssign); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// profileIPU enables the per-compute-set breakdown for IPU solves;
+// tracePath, when set, receives the Chrome trace of the solve.
+var (
+	profileIPU bool
+	tracePath  string
+)
+
+func solveOn(device string, m *lsap.Matrix, showAssign bool) error {
+	switch device {
+	case "ipu":
+		opts := core.Options{Profile: profileIPU}
+		var traceFile *os.File
+		if tracePath != "" {
+			f, err := os.Create(tracePath)
+			if err != nil {
+				return err
+			}
+			traceFile = f
+			opts.TraceWriter = f
+		}
+		s, err := core.New(opts)
+		if err != nil {
+			return err
+		}
+		r, err := s.SolveDetailed(m)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("IPU   cost=%-14g modeled=%-12v supersteps=%d exchangedMB=%.1f maxTileKiB=%.0f\n",
+			r.Solution.Cost, r.Modeled, r.Stats.Supersteps,
+			float64(r.Stats.BytesExchanged)/(1<<20), float64(r.MaxTileBytes)/1024)
+		for i, p := range r.Profile {
+			if i >= 10 {
+				fmt.Printf("      ... %d more compute sets\n", len(r.Profile)-10)
+				break
+			}
+			fmt.Printf("      %-20s executions=%-8d computeCycles=%d\n", p.Name, p.Executions, p.ComputeCycles)
+		}
+		printAssign(r.Solution.Assignment, showAssign)
+		if traceFile != nil {
+			if err := traceFile.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("      trace written to %s\n", tracePath)
+		}
+	case "gpu":
+		s, err := fastha.New(fastha.Options{})
+		if err != nil {
+			return err
+		}
+		r, err := s.SolvePadded(m)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("GPU   cost=%-14g modeled=%-12v kernels=%d atomics=%d\n",
+			r.Solution.Cost, r.Modeled, r.Stats.Kernels, r.Stats.Atomics)
+		printAssign(r.Solution.Assignment, showAssign)
+	case "cpu":
+		start := nowMono()
+		sol, err := (cpuhung.JV{}).Solve(m)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("CPU   cost=%-14g wall=%v\n", sol.Cost, nowMono()-start)
+		printAssign(sol.Assignment, showAssign)
+	default:
+		return fmt.Errorf("unknown device %q (want ipu, gpu, cpu, all)", device)
+	}
+	return nil
+}
+
+func printAssign(a lsap.Assignment, show bool) {
+	if !show {
+		return
+	}
+	for i, j := range a {
+		fmt.Printf("  row %d -> col %d\n", i, j)
+	}
+}
+
+// nowMono returns a monotonic timestamp for simple wall measurement.
+func nowMono() time.Duration { return time.Duration(time.Now().UnixNano()) }

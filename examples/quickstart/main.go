@@ -1,0 +1,44 @@
+// Quickstart: solve a small assignment problem on all three devices.
+//
+// Three workers must be assigned to three tasks; the cost matrix holds
+// each worker's cost per task. The optimal assignment minimises the
+// total cost, and every device — the simulated IPU running HunIPU, the
+// simulated A100 running FastHA, and the native CPU running
+// Jonker–Volgenant — must agree on it.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hunipu"
+)
+
+func main() {
+	costs := [][]float64{
+		{4, 1, 3}, // worker 0: task costs
+		{2, 0, 5}, // worker 1
+		{3, 2, 2}, // worker 2
+	}
+
+	for _, opt := range []struct {
+		name string
+		o    hunipu.Option
+	}{
+		{"IPU (HunIPU)", hunipu.OnIPU()},
+		{"GPU (FastHA)", hunipu.OnGPU()},
+		{"CPU (JV)", hunipu.OnCPU()},
+	} {
+		res, err := hunipu.Solve(costs, opt.o)
+		if err != nil {
+			log.Fatalf("%s: %v", opt.name, err)
+		}
+		fmt.Printf("%-13s total cost %.0f, assignment %v", opt.name, res.Cost, res.Assignment)
+		if res.Modeled > 0 {
+			fmt.Printf(" (modeled device time %v)", res.Modeled)
+		}
+		fmt.Println()
+	}
+}

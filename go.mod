@@ -1,0 +1,3 @@
+module hunipu
+
+go 1.22

@@ -1,0 +1,329 @@
+// Package hunipu is the public API of the HunIPU reproduction: an
+// IPU-optimised Hungarian algorithm (ICDE 2024) for the Linear Sum
+// Assignment Problem, together with the baselines the paper evaluates
+// against and the graph-alignment use case of its Section V-C.
+//
+// The IPU and GPU are simulated (see DESIGN.md): results are exact,
+// and device timings are modeled from each architecture's cost model.
+//
+// Quickstart:
+//
+//	res, err := hunipu.Solve([][]float64{
+//		{4, 1, 3},
+//		{2, 0, 5},
+//		{3, 2, 2},
+//	})
+//	// res.Assignment == [1, 0, 2] (row → column), res.Cost == 5
+//
+// Device selection: hunipu.Solve(costs, hunipu.OnGPU()) runs the
+// FastHA baseline, hunipu.OnCPU() the Jonker–Volgenant CPU solver; the
+// default is the HunIPU algorithm on the simulated Mk2 IPU.
+package hunipu
+
+import (
+	"fmt"
+	"time"
+
+	"hunipu/internal/core"
+	"hunipu/internal/cpuhung"
+	"hunipu/internal/fastha"
+	"hunipu/internal/graphalign"
+	"hunipu/internal/lsap"
+)
+
+// Device selects which solver executes a Solve call.
+type Device int
+
+// Available devices.
+const (
+	// DeviceIPU runs HunIPU on the simulated Graphcore Mk2 (default).
+	DeviceIPU Device = iota
+	// DeviceGPU runs the FastHA baseline on the simulated A100.
+	DeviceGPU
+	// DeviceCPU runs the Jonker–Volgenant solver natively.
+	DeviceCPU
+)
+
+// String implements fmt.Stringer.
+func (d Device) String() string {
+	switch d {
+	case DeviceIPU:
+		return "IPU"
+	case DeviceGPU:
+		return "GPU"
+	case DeviceCPU:
+		return "CPU"
+	default:
+		return fmt.Sprintf("Device(%d)", int(d))
+	}
+}
+
+type config struct {
+	device   Device
+	maximize bool
+	ipuOpts  core.Options
+	gpuOpts  fastha.Options
+}
+
+// Option configures a Solve or Align call.
+type Option func(*config)
+
+// OnIPU selects the HunIPU solver (the default).
+func OnIPU() Option { return func(c *config) { c.device = DeviceIPU } }
+
+// OnGPU selects the FastHA GPU baseline. Sizes that are not powers of
+// two are zero-padded, as the paper does.
+func OnGPU() Option { return func(c *config) { c.device = DeviceGPU } }
+
+// OnCPU selects the sequential Jonker–Volgenant baseline.
+func OnCPU() Option { return func(c *config) { c.device = DeviceCPU } }
+
+// Maximize solves a maximisation problem (e.g. similarities) instead
+// of the default minimisation.
+func Maximize() Option { return func(c *config) { c.maximize = true } }
+
+// WithIPUOptions overrides the HunIPU solver configuration (device
+// shape, ablation switches). See package internal/core for fields.
+func WithIPUOptions(o core.Options) Option { return func(c *config) { c.ipuOpts = o } }
+
+// WithGPUOptions overrides the FastHA configuration.
+func WithGPUOptions(o fastha.Options) Option { return func(c *config) { c.gpuOpts = o } }
+
+// Result is the outcome of a Solve call.
+type Result struct {
+	// Assignment maps each row to its matched column.
+	Assignment []int
+	// Cost is the total cost (or total value when maximising) of the
+	// assignment under the input matrix.
+	Cost float64
+	// Device is the solver that ran.
+	Device Device
+	// Modeled is the simulated device time (zero for the CPU solver).
+	Modeled time.Duration
+	// Wall is the real time the call took end to end.
+	Wall time.Duration
+}
+
+// Solve computes an optimal assignment of rows to columns for the
+// cost matrix. All entries must be finite; integer-valued matrices are
+// solved exactly on every device.
+//
+// Rectangular matrices are supported: with more columns than rows the
+// surplus columns stay unmatched; with more rows than columns the
+// cheapest-to-drop rows are left unassigned (−1 in the result), which
+// is the standard rectangular-LSAP semantics.
+func Solve(costs [][]float64, opts ...Option) (*Result, error) {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	m, rowsN, colsN, err := squareMatrix(costs, c.maximize)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	var (
+		sol     *lsap.Solution
+		modeled time.Duration
+	)
+	switch c.device {
+	case DeviceIPU:
+		s, err := core.New(c.ipuOpts)
+		if err != nil {
+			return nil, err
+		}
+		r, err := s.SolveDetailed(m)
+		if err != nil {
+			return nil, err
+		}
+		sol, modeled = r.Solution, r.Modeled
+	case DeviceGPU:
+		s, err := fastha.New(c.gpuOpts)
+		if err != nil {
+			return nil, err
+		}
+		r, err := s.SolvePadded(m)
+		if err != nil {
+			return nil, err
+		}
+		sol, modeled = r.Solution, r.Modeled
+	case DeviceCPU:
+		sol, err = (cpuhung.JV{}).Solve(m)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("hunipu: unknown device %v", c.device)
+	}
+	// Trim padding: dummy rows are dropped, matches into dummy columns
+	// become −1, and the reported cost covers real pairs only.
+	a := make([]int, rowsN)
+	var cost float64
+	for i := 0; i < rowsN; i++ {
+		j := sol.Assignment[i]
+		if j >= colsN {
+			j = -1
+		} else {
+			cost += costs[i][j]
+		}
+		a[i] = j
+	}
+	return &Result{
+		Assignment: a,
+		Cost:       cost,
+		Device:     c.device,
+		Modeled:    modeled,
+		Wall:       time.Since(start),
+	}, nil
+}
+
+// squareMatrix validates the input, applies max→min conversion to the
+// real entries, and pads rectangular inputs to a square minimisation
+// problem with zero-cost dummy rows or columns. Only one side is ever
+// padded, so dummies can never let a real row escape a real column
+// assignment it would otherwise need.
+func squareMatrix(costs [][]float64, maximize bool) (m *lsap.Matrix, rows, cols int, err error) {
+	rows = len(costs)
+	if rows == 0 {
+		return lsap.NewMatrix(0), 0, 0, nil
+	}
+	cols = len(costs[0])
+	for i, r := range costs {
+		if len(r) != cols {
+			return nil, 0, 0, fmt.Errorf("hunipu: row %d has %d entries, want %d (ragged matrix)", i, len(r), cols)
+		}
+	}
+	maxV := 0.0
+	if maximize {
+		for _, r := range costs {
+			for _, v := range r {
+				if v > maxV {
+					maxV = v
+				}
+			}
+		}
+	}
+	n := rows
+	if cols > n {
+		n = cols
+	}
+	m = lsap.NewMatrix(n)
+	for i, r := range costs {
+		for j, v := range r {
+			if maximize {
+				v = maxV - v
+			}
+			m.Set(i, j, v)
+		}
+	}
+	return m, rows, cols, nil
+}
+
+// AlignResult is the outcome of an Align call.
+type AlignResult struct {
+	// Mapping maps each node of the first graph to a node of the
+	// second.
+	Mapping []int
+	// Accuracy is the fraction of nodes mapped to themselves — the
+	// node-correctness metric when the second graph is a noisy copy of
+	// the first with unchanged labels. Ignore it otherwise.
+	Accuracy float64
+	// Device, Modeled, Wall as in Result (Modeled covers the LSAP
+	// solve only; GRAMPA runs host-side in both the paper and here).
+	Device  Device
+	Modeled time.Duration
+	Wall    time.Duration
+}
+
+// Align computes a node correspondence between two equal-size graphs
+// using the paper's Section V-C pipeline: GRAMPA spectral similarity
+// (η = 0.2) followed by a Hungarian assignment on the selected device.
+// Each graph is given as an edge list over nodes 0..n-1.
+func Align(n int, edges1, edges2 [][2]int, opts ...Option) (*AlignResult, error) {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	start := time.Now()
+	g1 := graphalign.NewGraph(n)
+	for _, e := range edges1 {
+		g1.AddEdge(e[0], e[1])
+	}
+	g2 := graphalign.NewGraph(n)
+	for _, e := range edges2 {
+		g2.AddEdge(e[0], e[1])
+	}
+	prob, err := graphalign.BuildAlignment(g1, g2, graphalign.DefaultEta)
+	if err != nil {
+		return nil, err
+	}
+	res, err := Solve(rows(prob.Cost), opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &AlignResult{
+		Mapping:  res.Assignment,
+		Accuracy: graphalign.Accuracy(res.Assignment, prob.Truth),
+		Device:   res.Device,
+		Modeled:  res.Modeled,
+		Wall:     time.Since(start),
+	}, nil
+}
+
+// rows converts an internal matrix back to the public representation.
+func rows(m *lsap.Matrix) [][]float64 {
+	out := make([][]float64, m.N)
+	for i := range out {
+		out[i] = append([]float64(nil), m.Row(i)...)
+	}
+	return out
+}
+
+// SolveKBest returns the k lowest-cost assignments in increasing cost
+// order (Murty's algorithm), or fewer when the problem admits fewer
+// feasible matchings. Subproblems require forbidden-edge support, so
+// the enumeration always runs on the CPU JV solver regardless of
+// device options; the matrix must be square.
+func SolveKBest(costs [][]float64, k int) ([]*Result, error) {
+	m, err := lsap.FromRows(costs)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	sols, err := lsap.KBest(m, k, cpuhung.JV{})
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(start)
+	out := make([]*Result, len(sols))
+	for i, s := range sols {
+		out[i] = &Result{
+			Assignment: append([]int(nil), s.Assignment...),
+			Cost:       s.Cost,
+			Device:     DeviceCPU,
+			Wall:       wall,
+		}
+	}
+	return out, nil
+}
+
+// SolveBottleneck minimises the *maximum* edge cost of a perfect
+// matching (the bottleneck assignment problem) instead of the sum.
+// Result.Cost is the bottleneck value. The matrix must be square.
+func SolveBottleneck(costs [][]float64) (*Result, error) {
+	m, err := lsap.FromRows(costs)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	sol, err := lsap.BottleneckSolve(m)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Assignment: append([]int(nil), sol.Assignment...),
+		Cost:       sol.Cost,
+		Device:     DeviceCPU,
+		Wall:       time.Since(start),
+	}, nil
+}

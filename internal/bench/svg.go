@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Fig5SVG renders a Figure-5 table (columns n, range, FastHA(ms),
+// HunIPU(ms), speedup) as an SVG chart in the paper's layout: one
+// panel per matrix size, runtime bars per value range, FastHA vs
+// HunIPU side by side. The output is self-contained SVG 1.1.
+func Fig5SVG(t *Table) (string, error) {
+	type cell struct {
+		rng            string
+		fastha, hunipu float64
+	}
+	panels := map[string][]cell{}
+	var sizes []string
+	for _, row := range t.Rows {
+		if len(row) < 5 {
+			return "", fmt.Errorf("bench: Fig5SVG row too short: %v", row)
+		}
+		f, err1 := strconv.ParseFloat(row[2], 64)
+		h, err2 := strconv.ParseFloat(row[3], 64)
+		if err1 != nil || err2 != nil {
+			return "", fmt.Errorf("bench: Fig5SVG bad numbers in row %v", row)
+		}
+		if _, ok := panels[row[0]]; !ok {
+			sizes = append(sizes, row[0])
+		}
+		panels[row[0]] = append(panels[row[0]], cell{rng: row[1], fastha: f, hunipu: h})
+	}
+	if len(sizes) == 0 {
+		return "", fmt.Errorf("bench: Fig5SVG empty table")
+	}
+	sort.Slice(sizes, func(i, j int) bool {
+		a, _ := strconv.Atoi(sizes[i])
+		b, _ := strconv.Atoi(sizes[j])
+		return a < b
+	})
+
+	const (
+		panelW  = 220
+		panelH  = 200
+		margin  = 46
+		footerH = 40
+	)
+	width := margin + len(sizes)*(panelW+24)
+	height := margin + panelH + footerH
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="16" font-size="13">Figure 5: runtime of FastHA vs HunIPU (modeled ms)</text>`+"\n", margin)
+
+	for pi, size := range sizes {
+		cells := panels[size]
+		x0 := margin + pi*(panelW+24)
+		y0 := margin
+		maxV := 0.0
+		for _, c := range cells {
+			maxV = math.Max(maxV, math.Max(c.fastha, c.hunipu))
+		}
+		if maxV == 0 {
+			maxV = 1
+		}
+		// Panel frame and title.
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#888"/>`+"\n", x0, y0, panelW, panelH)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle">n = %s</text>`+"\n", x0+panelW/2, y0+panelH+16, size)
+		// Y-axis labels (0 and max).
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="end">%.0f</text>`+"\n", x0-4, y0+10, maxV)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="end">0</text>`+"\n", x0-4, y0+panelH)
+
+		group := panelW / len(cells)
+		barW := group / 3
+		for ci, c := range cells {
+			gx := x0 + ci*group + group/2
+			fh := int(float64(panelH-10) * c.fastha / maxV)
+			hh := int(float64(panelH-10) * c.hunipu / maxV)
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="#c0504d"><title>FastHA %s: %.2f ms</title></rect>`+"\n",
+				gx-barW, y0+panelH-fh, barW, fh, c.rng, c.fastha)
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="#4f81bd"><title>HunIPU %s: %.2f ms</title></rect>`+"\n",
+				gx, y0+panelH-hh, barW, hh, c.rng, c.hunipu)
+			fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle" font-size="9">%s</text>`+"\n",
+				gx, y0+panelH+28, c.rng)
+		}
+	}
+	// Legend.
+	lx := margin
+	ly := height - 8
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="#c0504d"/><text x="%d" y="%d">FastHA</text>`+"\n", lx, ly-10, lx+14, ly)
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="#4f81bd"/><text x="%d" y="%d">HunIPU</text>`+"\n", lx+80, ly-10, lx+94, ly)
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}

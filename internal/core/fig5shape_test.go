@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+
+	"hunipu/internal/datasets"
+	"hunipu/internal/fastha"
+)
+
+// TestFig5ShapeAtN512 asserts the paper's headline result on one
+// Figure-5 cell at full device configuration: HunIPU's modeled time
+// beats FastHA's by a factor in the published 3–11× band.
+func TestFig5ShapeAtN512(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size Figure 5 cell in -short mode")
+	}
+	m, err := datasets.Gaussian(512, 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := s.SolveDetailed(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fastha.New(fastha.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := f.SolveDetailed(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr.Solution.Cost != fr.Solution.Cost {
+		t.Fatalf("cost mismatch: %g vs %g", hr.Solution.Cost, fr.Solution.Cost)
+	}
+	speedup := float64(fr.Modeled) / float64(hr.Modeled)
+	t.Logf("n=512 500n: HunIPU=%v FastHA=%v speedup=%.2f", hr.Modeled, fr.Modeled, speedup)
+	if speedup < 3 || speedup > 11 {
+		t.Fatalf("speedup %.2f outside the paper's 3–11x band", speedup)
+	}
+}

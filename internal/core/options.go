@@ -1,0 +1,112 @@
+// Package core implements HunIPU, the paper's IPU-optimised Hungarian
+// algorithm, on top of the poplar static-graph layer and the ipu
+// machine model. The implementation follows Section IV of the paper:
+//
+//   - 1D row decomposition with an equal number of rows per tile
+//     (Section IV-A; a 2D mode exists as the paper's rejected
+//     alternative, for the ablation study);
+//   - six-thread row-segment matrix compression (Section IV-B, Fig. 1);
+//   - Step 1: initial subtraction with Poplar reduce ops (IV-C);
+//   - Step 2: initial matching via compress + sort (IV-D, Fig. 2);
+//   - Step 3: completion assessment on 32-element column segments (IV-E);
+//   - Step 4: row zero-status search over the compressed matrix (IV-F);
+//   - Step 5: path augmentation with the partition-and-distribute
+//     dynamic-slicing strategy (IV-G, Figs. 3–4);
+//   - Step 6: slack update with pairwise min search and re-compression
+//     (IV-H).
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"hunipu/internal/ipu"
+)
+
+// Options configures a HunIPU solver. The zero value selects the
+// paper's published configuration on a Mk2 IPU.
+type Options struct {
+	// Config is the simulated device; zero value means ipu.MK2().
+	Config ipu.Config
+
+	// ColSegment is the column-segment length for col_cover/col_star
+	// (Section IV-E empirically fixes 32). 0 means 32.
+	ColSegment int
+
+	// ThreadsPerRow is how many per-row segments (worker threads)
+	// process each row (Section IV-B uses all 6 tile threads).
+	// 0 means Config.ThreadsPerTile.
+	ThreadsPerRow int
+
+	// RowsPerTile fixes how many matrix rows each tile owns; 0 derives
+	// the balanced ceil(n/tiles) the paper uses.
+	RowsPerTile int
+
+	// DisableCompression turns the Section IV-B compression scheme off
+	// (ablation): Steps 2 and 4 then scan full rows of the slack
+	// matrix instead of only the recorded zero positions.
+	DisableCompression bool
+
+	// Use2D switches to the 2D matrix decomposition the paper rejects
+	// in Section IV-A (ablation): rows are split across column blocks
+	// on different tiles, so every row-status step pays exchange.
+	Use2D bool
+
+	// Parallelism is host-side execution parallelism (no effect on
+	// modeled cycles). 0 means GOMAXPROCS.
+	Parallelism int
+
+	// MaxSupersteps bounds execution as a safety net. 0 means 2^40.
+	MaxSupersteps int64
+
+	// Profile collects a per-compute-set breakdown into
+	// Result.Profile (small overhead; off by default).
+	Profile bool
+
+	// TraceWriter, when non-nil, receives the solve's BSP timeline in
+	// Chrome trace-event JSON after a successful run (open in
+	// chrome://tracing or Perfetto).
+	TraceWriter io.Writer
+
+	// CheckInvariants verifies the algorithm's internal invariants
+	// after every solve — the slack matrix stays non-negative, every
+	// star sits on a slack zero, and the row/column star tables agree.
+	// Used by the test suite and as failure-injection infrastructure.
+	CheckInvariants bool
+
+	// Epsilon is the zero tolerance for real-valued cost matrices:
+	// slack entries with |v| ≤ Epsilon count as zeros. Leave 0 for
+	// integer-valued matrices (exact arithmetic, the paper's
+	// workloads); set ~1e-9·maxCost for float data such as raw GRAMPA
+	// similarities.
+	Epsilon float64
+}
+
+// withDefaults resolves zero values.
+func (o Options) withDefaults() (Options, error) {
+	if o.Config.Tiles() == 0 {
+		o.Config = ipu.MK2()
+	}
+	if err := o.Config.Validate(); err != nil {
+		return o, err
+	}
+	if o.ColSegment == 0 {
+		o.ColSegment = 32
+	}
+	if o.ColSegment < 0 {
+		return o, fmt.Errorf("core: ColSegment = %d, want > 0", o.ColSegment)
+	}
+	if o.ThreadsPerRow == 0 {
+		o.ThreadsPerRow = o.Config.ThreadsPerTile
+	}
+	if o.ThreadsPerRow < 0 {
+		return o, fmt.Errorf("core: ThreadsPerRow = %d, want > 0", o.ThreadsPerRow)
+	}
+	if o.RowsPerTile < 0 {
+		return o, fmt.Errorf("core: RowsPerTile = %d, want ≥ 0", o.RowsPerTile)
+	}
+	if o.Epsilon < 0 {
+		return o, fmt.Errorf("core: Epsilon = %g, want ≥ 0", o.Epsilon)
+	}
+	return o, nil
+}

@@ -1,0 +1,248 @@
+package core
+
+// White-box tests reproducing the worked examples in the paper's
+// figures: the Fig. 1 compression layout, the Fig. 2 initial-matching
+// instance, the Fig. 3 path-augmentation instance, and the Fig. 4
+// partition-and-distribute dynamic slice.
+
+import (
+	"testing"
+
+	"hunipu/internal/ipu"
+	"hunipu/internal/lsap"
+	"hunipu/internal/poplar"
+)
+
+// TestFig1Compression reproduces Figure 1 exactly: the slack row
+// [13 0 1 0 0 0 1 6 0 7 22 8 2 0] ... the figure shows a 12-element
+// row split into 6 segments of 2; we use its data verbatim.
+func TestFig1Compression(t *testing.T) {
+	// Figure 1's row, 12 elements over 6 threads (2 per segment):
+	slack := []float64{13, 0, 1, 0, 0, 0, 1, 6, 0, 7, 22, 8}
+	wantCompress := []float64{1, -1, 3, -1, 4, 5, -1, -1, 8, -1, -1, -1}
+	wantCounts := []float64{1, 1, 2, 0, 1, 0}
+
+	gotCompress := make([]float64, 12)
+	gotCounts := make([]float64, 6)
+	for s := 0; s < 6; s++ {
+		lo, hi := 2*s, 2*s+2
+		cnt := make([]float64, 1)
+		compressSegment(slack[lo:hi], gotCompress[lo:hi], cnt, lo, 0)
+		gotCounts[s] = cnt[0]
+	}
+	for i := range wantCompress {
+		if gotCompress[i] != wantCompress[i] {
+			t.Fatalf("compress = %v, want %v", gotCompress, wantCompress)
+		}
+	}
+	for s := range wantCounts {
+		if gotCounts[s] != wantCounts[s] {
+			t.Fatalf("counts = %v, want %v", gotCounts, wantCounts)
+		}
+	}
+}
+
+// TestFig2InitialMatchingInstance solves a cost matrix whose slack
+// matrix is exactly Figure 2(a); the solver must find a zero-cost
+// perfect matching on those zeros (the figure's step-2 output is a
+// maximal star set; after augmentation the assignment is optimal).
+func TestFig2InitialMatchingInstance(t *testing.T) {
+	// Figure 2(a) slack matrix (already reduced: every row and the
+	// remaining columns contain zeros).
+	slack := [][]float64{
+		{3, 0, 2, 7},
+		{1, 0, 2, 0},
+		{0, 3, 4, 2},
+		{1, 9, 6, 0},
+	}
+	m, err := lsap.FromRows(slack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newSolver(t, testOptions())
+	sol, err := s.Solve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows 0→1, 2→0 are forced; rows 1 and 3 share columns {1,3} with
+	// zeros at (1,3) and (3,3): the optimum pairs 1→3? No: 1 has zeros
+	// at cols 1,3 and 3 only at col 3, so 3→3 and 1→1... but 0→1 too.
+	// The unique zero-cost matching is 0→1? Check by value instead:
+	want, err := (lsap.BruteForce{}).Solve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Cost != want.Cost {
+		t.Fatalf("cost = %g, want %g", sol.Cost, want.Cost)
+	}
+}
+
+// TestFig3AugmentationInstance solves the Figure 3 matrix (primes and
+// stars mid-run); end-to-end the optimum must match the oracle.
+func TestFig3AugmentationInstance(t *testing.T) {
+	slack := [][]float64{
+		{0, 0, 10, 0},
+		{0, 10, 0, 4},
+		{2, 5, 0, 3},
+		{6, 4, 0, 10},
+	}
+	m, err := lsap.FromRows(slack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newSolver(t, testOptions())
+	sol, err := s.Solve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := (lsap.BruteForce{}).Solve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Cost != want.Cost {
+		t.Fatalf("cost = %g, want %g", sol.Cost, want.Cost)
+	}
+}
+
+// TestFig4DynamicSlice reproduces Figure 4: a 12-element tensor
+// [0..11] partitioned over 3 tiles (3 rows of 4 in the figure; here
+// the mapping is what matters), sliced at runtime index 7 → 7.
+func TestFig4DynamicSlice(t *testing.T) {
+	o, err := testOptions().withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := newBuilder(o, 4) // small builder just to reuse its graph helpers
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := b.g
+	tensor := g.AddVariable("fig4", poplar.Int, 12)
+	for tile := 0; tile < 3; tile++ { // 4 elements per tile, as in Fig. 4
+		g.SetTileMapping(tensor, tile, tile*4, (tile+1)*4)
+	}
+	idx := g.AddVariable("fig4_idx", poplar.Int, 1)
+	out := g.AddVariable("fig4_out", poplar.Int, 1)
+	g.MapAllTo(idx, b.utilTile)
+	g.MapAllTo(out, b.utilTile)
+
+	prog := b.gatherScalar(tensor, idx, out, -1, "fig4_slice")
+	dev, err := ipu.NewDevice(o.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := poplar.NewEngine(g, prog, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]float64, 12)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	tensor.HostWrite(vals)
+
+	for _, probe := range []struct{ idx, want float64 }{
+		{7, 7}, {0, 0}, {11, 11}, {-1, -1},
+	} {
+		idx.SetScalar(probe.idx)
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if got := out.ScalarValue(); got != probe.want {
+			t.Fatalf("dynamic slice at %g = %g, want %g", probe.idx, got, probe.want)
+		}
+	}
+}
+
+// TestScatterScalar checks the write-side partition-and-distribute
+// update used by Step 5's flips.
+func TestScatterScalar(t *testing.T) {
+	o, err := testOptions().withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := newBuilder(o, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := b.g
+	tensor := g.AddVariable("sc", poplar.Int, 9)
+	for tile := 0; tile < 3; tile++ {
+		g.SetTileMapping(tensor, tile, tile*3, (tile+1)*3)
+	}
+	idx := g.AddVariable("sc_idx", poplar.Int, 1)
+	val := g.AddVariable("sc_val", poplar.Int, 1)
+	g.MapAllTo(idx, b.utilTile)
+	g.MapAllTo(val, b.utilTile)
+
+	prog := b.scatterScalar(tensor, idx, val, "sc_test")
+	dev, err := ipu.NewDevice(o.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := poplar.NewEngine(g, prog, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx.SetScalar(5)
+	val.SetScalar(42)
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := tensor.HostRead()
+	for i, v := range got {
+		want := 0.0
+		if i == 5 {
+			want = 42
+		}
+		if v != want {
+			t.Fatalf("tensor[%d] = %g, want %g", i, v, want)
+		}
+	}
+	// Negative index writes nothing.
+	idx.SetScalar(-1)
+	val.SetScalar(99)
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range tensor.HostRead() {
+		if i != 5 && v != 0 || i == 5 && v != 42 {
+			t.Fatal("negative-index scatter mutated the tensor")
+		}
+	}
+}
+
+// TestMultiIPU runs HunIPU spanning two chips: correctness must hold
+// and the cross-chip exchange must be charged.
+func TestMultiIPU(t *testing.T) {
+	cfg := ipu.MK2()
+	cfg.TilesPerIPU = 16
+	cfg.IPUs = 2
+	o := Options{Config: cfg}
+	s := newSolver(t, o)
+	m := lsap.NewMatrix(24) // 24 rows over 32 tiles: spans both chips
+	v := 1.0
+	for i := range m.Data {
+		m.Data[i] = float64(int(v*7)%97 + 1)
+		v++
+	}
+	r, err := s.SolveDetailed(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneChip := ipu.MK2()
+	oneChip.TilesPerIPU = 32
+	s1 := newSolver(t, Options{Config: oneChip})
+	r1, err := s1.SolveDetailed(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Solution.Cost != r1.Solution.Cost {
+		t.Fatalf("multi-IPU cost %g ≠ single %g", r.Solution.Cost, r1.Solution.Cost)
+	}
+	// Cross-chip traffic makes the 2-chip run slower at equal tiles.
+	if r.Stats.ExchangeCycles <= r1.Stats.ExchangeCycles {
+		t.Fatalf("cross-IPU exchange should cost more: 2-chip=%d 1-chip=%d",
+			r.Stats.ExchangeCycles, r1.Stats.ExchangeCycles)
+	}
+}

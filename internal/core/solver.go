@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"hunipu/internal/ipu"
+	"hunipu/internal/lsap"
+	"hunipu/internal/poplar"
+)
+
+// Solver is HunIPU: the paper's IPU-optimised Hungarian algorithm,
+// executed on the simulated device. It implements lsap.Solver.
+//
+// Costs must be finite; integer-valued matrices (the paper's synthetic
+// workloads and the quantised similarity matrices of the graph-
+// alignment use case) are solved exactly, since every slack update is
+// an addition or subtraction of existing values.
+type Solver struct {
+	opts Options
+
+	// The compiled graph is cached per matrix size, so applications
+	// that solve many same-size instances (the paper's shape-matching
+	// motivation runs the algorithm "hundreds of times") compile once
+	// and only pay execution on subsequent solves.
+	mu    sync.Mutex
+	cache map[int]*compiled
+}
+
+// compiled is one size's reusable artefact.
+type compiled struct {
+	b   *builder
+	eng *poplar.Engine
+	dev *ipu.Device
+}
+
+// New creates a solver, resolving option defaults.
+func New(opts Options) (*Solver, error) {
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Solver{opts: o, cache: map[int]*compiled{}}, nil
+}
+
+// Name implements lsap.Solver.
+func (s *Solver) Name() string {
+	switch {
+	case s.opts.Use2D:
+		return "HunIPU-2D"
+	case s.opts.DisableCompression:
+		return "HunIPU-nocompress"
+	default:
+		return "HunIPU"
+	}
+}
+
+// Options returns the resolved options.
+func (s *Solver) Options() Options { return s.opts }
+
+// Result is a solve with its modeled device profile.
+type Result struct {
+	Solution *lsap.Solution
+	// Stats is the device profile of the solve (host transfers and
+	// graph compilation excluded, matching the paper's methodology).
+	Stats ipu.Stats
+	// Modeled is the simulated wall time of the solve.
+	Modeled time.Duration
+	// MaxTileBytes is the most loaded tile's SRAM footprint.
+	MaxTileBytes int64
+	// CompileHost is the real host time spent building and compiling
+	// the static graph (the paper compiles once per matrix size).
+	CompileHost time.Duration
+	// Profile is the per-compute-set breakdown (nil unless
+	// Options.Profile is set), sorted by descending compute cycles.
+	Profile []poplar.CSProfile
+}
+
+// Solve implements lsap.Solver.
+func (s *Solver) Solve(c *lsap.Matrix) (*lsap.Solution, error) {
+	r, err := s.SolveDetailed(c)
+	if err != nil {
+		return nil, err
+	}
+	return r.Solution, nil
+}
+
+// SolveDetailed solves the LSAP and reports the modeled IPU profile.
+func (s *Solver) SolveDetailed(c *lsap.Matrix) (*Result, error) {
+	n := c.N
+	if n == 0 {
+		return &Result{Solution: &lsap.Solution{Assignment: lsap.Assignment{}}}, nil
+	}
+	for _, v := range c.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v == lsap.Forbidden {
+			return nil, fmt.Errorf("core: cost matrix must be finite (mask forbidden edges before solving)")
+		}
+	}
+
+	compileStart := time.Now()
+	s.mu.Lock()
+	cc := s.cache[n]
+	if cc == nil {
+		b, err := newBuilder(s.opts, n)
+		if err != nil {
+			s.mu.Unlock()
+			return nil, err
+		}
+		prog := b.buildProgram()
+		dev, err := ipu.NewDevice(s.opts.Config)
+		if err != nil {
+			s.mu.Unlock()
+			return nil, err
+		}
+		engOpts := []poplar.EngineOption{}
+		if s.opts.Parallelism != 0 {
+			engOpts = append(engOpts, poplar.WithParallelism(s.opts.Parallelism))
+		}
+		if s.opts.MaxSupersteps != 0 {
+			engOpts = append(engOpts, poplar.WithMaxSupersteps(s.opts.MaxSupersteps))
+		}
+		if s.opts.Profile {
+			engOpts = append(engOpts, poplar.WithProfiling())
+		}
+		if s.opts.TraceWriter != nil {
+			engOpts = append(engOpts, poplar.WithTrace())
+		}
+		eng, err := poplar.NewEngine(b.g, prog, dev, engOpts...)
+		if err != nil {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("core: graph compilation failed: %w", err)
+		}
+		cc = &compiled{b: b, eng: eng, dev: dev}
+		s.cache[n] = cc
+	}
+	compileTime := time.Since(compileStart)
+	b, eng, dev := cc.b, cc.eng, cc.dev
+
+	b.slack.HostWrite(c.Data)
+	dev.ResetClock()
+	if err := eng.Run(); err != nil {
+		s.cache[n] = nil // state may be inconsistent after a failure
+		s.mu.Unlock()
+		return nil, fmt.Errorf("core: execution failed: %w", err)
+	}
+	defer s.mu.Unlock()
+	if b.pathErr.ScalarValue() != 0 {
+		return nil, fmt.Errorf("core: internal invariant violated during path augmentation")
+	}
+
+	stars := b.rowStar.HostRead()
+	a := make(lsap.Assignment, n)
+	for i, v := range stars {
+		a[i] = int(v)
+	}
+	if err := a.Validate(n); err != nil {
+		return nil, fmt.Errorf("core: produced invalid matching: %w", err)
+	}
+	if s.opts.CheckInvariants {
+		if err := b.checkInvariants(a); err != nil {
+			return nil, err
+		}
+	}
+	res := &Result{
+		Solution:     &lsap.Solution{Assignment: a, Cost: a.Cost(c)},
+		Stats:        dev.Stats(),
+		Modeled:      dev.ModeledTime(),
+		MaxTileBytes: dev.MaxAllocated(),
+		CompileHost:  compileTime,
+	}
+	if s.opts.Profile {
+		res.Profile = eng.Profile()
+	}
+	if s.opts.TraceWriter != nil {
+		if err := eng.WriteTrace(s.opts.TraceWriter); err != nil {
+			return nil, fmt.Errorf("core: trace export: %w", err)
+		}
+	}
+	return res, nil
+}

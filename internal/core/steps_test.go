@@ -1,0 +1,362 @@
+package core
+
+// White-box tests running individual step programs against a builder
+// and verifying the state transitions each of the paper's six steps
+// promises.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hunipu/internal/ipu"
+	"hunipu/internal/poplar"
+)
+
+// stepRig compiles an arbitrary sub-program over a fresh builder.
+type stepRig struct {
+	b   *builder
+	eng *poplar.Engine
+	dev *ipu.Device
+}
+
+func newStepRig(t *testing.T, n int, build func(b *builder) poplar.Program) *stepRig {
+	t.Helper()
+	o, err := testOptions().withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := newBuilder(o, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := build(b)
+	dev, err := ipu.NewDevice(o.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := poplar.NewEngine(b.g, prog, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &stepRig{b: b, eng: eng, dev: dev}
+}
+
+func randomSlack(rng *rand.Rand, n, hi int) []float64 {
+	d := make([]float64, n*n)
+	for i := range d {
+		d[i] = float64(1 + rng.Intn(hi))
+	}
+	return d
+}
+
+// TestStep1SubtractionInvariants: after Step 1 the slack matrix is
+// non-negative with a zero in every row and every column, and each
+// entry equals C − rowMin − colMin'.
+func TestStep1SubtractionInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	n := 24
+	rig := newStepRig(t, n, func(b *builder) poplar.Program { return b.buildStep1() })
+	cost := randomSlack(rng, n, 500)
+	rig.b.slack.HostWrite(cost)
+	if err := rig.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := rig.b.slack.HostRead()
+
+	// Reference computation.
+	want := append([]float64(nil), cost...)
+	for i := 0; i < n; i++ {
+		row := want[i*n : (i+1)*n]
+		m := row[0]
+		for _, v := range row {
+			m = math.Min(m, v)
+		}
+		for j := range row {
+			row[j] -= m
+		}
+	}
+	for j := 0; j < n; j++ {
+		m := want[j]
+		for i := 1; i < n; i++ {
+			m = math.Min(m, want[i*n+j])
+		}
+		for i := 0; i < n; i++ {
+			want[i*n+j] -= m
+		}
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("slack[%d] = %g, want %g", i, s[i], want[i])
+		}
+	}
+	for i := 0; i < n; i++ {
+		hasZero := false
+		for j := 0; j < n; j++ {
+			if s[i*n+j] < 0 {
+				t.Fatalf("negative slack at (%d,%d)", i, j)
+			}
+			if s[i*n+j] == 0 {
+				hasZero = true
+			}
+		}
+		if !hasZero {
+			t.Fatalf("row %d has no zero after step 1", i)
+		}
+	}
+	for j := 0; j < n; j++ {
+		hasZero := false
+		for i := 0; i < n; i++ {
+			if s[i*n+j] == 0 {
+				hasZero = true
+				break
+			}
+		}
+		if !hasZero {
+			t.Fatalf("column %d has no zero after step 1", j)
+		}
+	}
+}
+
+// TestCompressMatchesSlack: the compress matrix and zero counts agree
+// exactly with the slack matrix's zeros, segment by segment.
+func TestCompressMatchesSlack(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	n := 30
+	rig := newStepRig(t, n, func(b *builder) poplar.Program {
+		return poplar.Sequence(b.buildStep1(), b.buildCompress())
+	})
+	rig.b.slack.HostWrite(randomSlack(rng, n, 60))
+	if err := rig.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := rig.b.slack.HostRead()
+	comp := rig.b.compress.HostRead()
+	counts := rig.b.zeroCount.HostRead()
+	b := rig.b
+	for i := 0; i < n; i++ {
+		for seg := 0; seg < b.threads; seg++ {
+			lo, hi := b.segCols(seg)
+			var zeros []int
+			for j := lo; j < hi; j++ {
+				if s[i*n+j] == 0 {
+					zeros = append(zeros, j)
+				}
+			}
+			if got := int(counts[i*b.threads+seg]); got != len(zeros) {
+				t.Fatalf("row %d seg %d: count %d, want %d", i, seg, got, len(zeros))
+			}
+			for k, j := range zeros {
+				if int(comp[i*n+lo+k]) != j {
+					t.Fatalf("row %d seg %d: compress[%d] = %g, want %d",
+						i, seg, k, comp[i*n+lo+k], j)
+				}
+			}
+			for k := len(zeros); k < hi-lo; k++ {
+				if comp[i*n+lo+k] != -1 {
+					t.Fatalf("row %d seg %d: padding not -1", i, seg)
+				}
+			}
+		}
+	}
+}
+
+// TestStep2ProducesValidPartialMatching: the initial matching stars
+// only zeros, never two in a row or column, and stars at least one
+// zero when any exists.
+func TestStep2ProducesValidPartialMatching(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	n := 28
+	rig := newStepRig(t, n, func(b *builder) poplar.Program {
+		return poplar.Sequence(
+			poplar.Fill(b.g, b.rowStar, -1, "t_rs"),
+			poplar.Fill(b.g, b.colStar, -1, "t_cs"),
+			b.buildStep1(), b.buildCompress(), b.buildStep2(),
+		)
+	})
+	rig.b.slack.HostWrite(randomSlack(rng, n, 400))
+	if err := rig.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := rig.b.slack.HostRead()
+	rowStar := rig.b.rowStar.HostRead()
+	colStar := rig.b.colStar.HostRead()
+
+	stars := 0
+	colSeen := make([]bool, n)
+	for i, jf := range rowStar {
+		j := int(jf)
+		if j < 0 {
+			continue
+		}
+		stars++
+		if s[i*n+j] != 0 {
+			t.Fatalf("star (%d,%d) on non-zero slack %g", i, j, s[i*n+j])
+		}
+		if colSeen[j] {
+			t.Fatalf("two stars in column %d", j)
+		}
+		colSeen[j] = true
+		if int(colStar[j]) != i {
+			t.Fatalf("col_star[%d] = %g, want %d", j, colStar[j], i)
+		}
+	}
+	if stars == 0 {
+		t.Fatal("step 2 starred nothing despite step-1 zeros")
+	}
+	// Every column star points back at a row star.
+	for j, ifl := range colStar {
+		if i := int(ifl); i >= 0 && int(rowStar[i]) != j {
+			t.Fatalf("col_star[%d] = %d but row_star[%d] = %g", j, i, i, rowStar[i])
+		}
+	}
+}
+
+// TestStep3CountsCoveredColumns: col_cover mirrors col_star and the
+// completion predicate fires exactly when all columns are covered.
+func TestStep3CountsCoveredColumns(t *testing.T) {
+	n := 12
+	rig := newStepRig(t, n, func(b *builder) poplar.Program {
+		return b.buildStep3("t_s3")
+	})
+	// Star seven arbitrary columns.
+	colStar := make([]float64, n)
+	for j := range colStar {
+		colStar[j] = -1
+	}
+	for _, j := range []int{0, 2, 3, 5, 8, 9, 11} {
+		colStar[j] = float64(j % 4)
+	}
+	rig.b.colStar.HostWrite(colStar)
+	if err := rig.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rig.b.covSum.ScalarValue(); got != 7 {
+		t.Fatalf("covSum = %g, want 7", got)
+	}
+	if rig.b.notDone.ScalarValue() != 1 {
+		t.Fatal("notDone should be set with 7/12 covered")
+	}
+	// Cover everything → done.
+	for j := range colStar {
+		colStar[j] = 0
+	}
+	rig.b.colStar.HostWrite(colStar)
+	if err := rig.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rig.b.notDone.ScalarValue() != 0 {
+		t.Fatal("notDone should clear when all columns covered")
+	}
+}
+
+// TestStep4StatusClassification: the three row states of Section IV-F
+// are assigned correctly for a hand-built configuration.
+func TestStep4StatusClassification(t *testing.T) {
+	n := 6
+	rig := newStepRig(t, n, func(b *builder) poplar.Program {
+		return poplar.Sequence(b.buildCompress(), b.buildStep4())
+	})
+	b := rig.b
+	// Slack: row 0 zero at col 0 (uncovered) and no star → status 1.
+	//        row 1 zero at col 1 (uncovered), star at col 5 → status 0.
+	//        row 2 zero only at col 2 which is covered → status −1.
+	//        row 3 no zeros → status −1.
+	//        row 4 covered row with zeros → status −1.
+	//        row 5 zero at col 4 uncovered, no star → status 1.
+	slack := make([]float64, n*n)
+	for i := range slack {
+		slack[i] = 9
+	}
+	set := func(i, j int, v float64) { slack[i*n+j] = v }
+	set(0, 0, 0)
+	set(1, 1, 0)
+	set(2, 2, 0)
+	set(4, 0, 0)
+	set(5, 4, 0)
+	b.slack.HostWrite(slack)
+
+	rowStar := []float64{-1, 5, -1, -1, -1, -1}
+	b.rowStar.HostWrite(rowStar)
+	rowCover := []float64{0, 0, 0, 0, 1, 0}
+	b.rowCover.HostWrite(rowCover)
+	colCover := make([]float64, n)
+	colCover[2] = 1
+	b.colCover.HostWrite(colCover)
+
+	if err := rig.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := b.zeroStatus.HostRead()
+	want := []float64{1, 0, -1, -1, -1, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("status[%d] = %g, want %g (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if b.statusMax.ScalarValue() != 1 || b.isPos.ScalarValue() != 1 || b.isNeg.ScalarValue() != 0 {
+		t.Fatalf("flags: max=%g isPos=%g isNeg=%g",
+			b.statusMax.ScalarValue(), b.isPos.ScalarValue(), b.isNeg.ScalarValue())
+	}
+	uz := b.uncovCol.HostRead()
+	if uz[0] != 0 || uz[1] != 1 || uz[5] != 4 {
+		t.Fatalf("uncovCol = %v", uz)
+	}
+}
+
+// TestStep6SlackUpdate: the minimum uncovered value moves by ±Δ per
+// the cover pattern and the compress matrix is regenerated.
+func TestStep6SlackUpdate(t *testing.T) {
+	n := 6
+	rig := newStepRig(t, n, func(b *builder) poplar.Program {
+		return b.buildStep6()
+	})
+	b := rig.b
+	slack := make([]float64, n*n)
+	for i := range slack {
+		slack[i] = float64(10 + i%7)
+	}
+	// Cover row 1 and column 2; smallest uncovered value is 3 at (0,0).
+	slack[0] = 3
+	b.slack.HostWrite(slack)
+	rowCover := make([]float64, n)
+	rowCover[1] = 1
+	b.rowCover.HostWrite(rowCover)
+	colCover := make([]float64, n)
+	colCover[2] = 1
+	b.colCover.HostWrite(colCover)
+
+	if err := rig.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.minU.ScalarValue(); got != 3 {
+		t.Fatalf("minU = %g, want 3", got)
+	}
+	out := b.slack.HostRead()
+	counts := b.zeroCount.HostRead()
+	zeroTotal := 0.0
+	for _, c := range counts {
+		zeroTotal += c
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			orig := slack[i*n+j]
+			want := orig
+			switch {
+			case rowCover[i] == 1 && colCover[j] == 1:
+				want = orig + 3
+			case rowCover[i] == 0 && colCover[j] == 0:
+				want = orig - 3
+			}
+			if out[i*n+j] != want {
+				t.Fatalf("slack(%d,%d) = %g, want %g", i, j, out[i*n+j], want)
+			}
+		}
+	}
+	if out[0] != 0 {
+		t.Fatal("the minimum uncovered entry should become zero")
+	}
+	if zeroTotal < 1 {
+		t.Fatal("re-compression recorded no zeros")
+	}
+}

@@ -1,0 +1,122 @@
+package cpuhung
+
+import (
+	"fmt"
+	"math"
+
+	"hunipu/internal/lsap"
+)
+
+// Auction is Bertsekas' auction algorithm with ε-scaling, included as an
+// extra CPU baseline (the paper's related work discusses parallel
+// assignment solvers; the auction method is the classic alternative to
+// Hungarian-style augmentation). It solves the minimisation LSAP by
+// running the standard maximisation auction on negated costs.
+//
+// For integer-valued cost matrices the result is exactly optimal: the
+// final ε is driven below 1/n, which for integer benefits guarantees
+// optimality. For non-integer matrices the result is within n·εMin of
+// optimal; callers needing exactness should quantise first (the
+// experiment harness always uses integer-valued data).
+type Auction struct {
+	// EpsScale divides ε between scaling phases; 0 means the default 4.
+	EpsScale float64
+}
+
+// Name implements lsap.Solver.
+func (Auction) Name() string { return "CPU-Auction" }
+
+// Solve implements lsap.Solver.
+func (a Auction) Solve(c *lsap.Matrix) (*lsap.Solution, error) {
+	n := c.N
+	if n == 0 {
+		return &lsap.Solution{Assignment: lsap.Assignment{}}, nil
+	}
+	scale := a.EpsScale
+	if scale <= 1 {
+		scale = 4
+	}
+
+	// Benefits: b[i][j] = maxC − C[i][j] ≥ 0 (maximisation form).
+	maxC := math.Inf(-1)
+	for _, v := range c.Data {
+		if v == lsap.Forbidden {
+			return nil, fmt.Errorf("cpuhung: auction does not support forbidden edges")
+		}
+		if v > maxC {
+			maxC = v
+		}
+	}
+	b := make([]float64, n*n)
+	var maxB float64
+	for i, v := range c.Data {
+		b[i] = maxC - v
+		if b[i] > maxB {
+			maxB = b[i]
+		}
+	}
+
+	price := make([]float64, n)
+	owner := make([]int, n)    // owner[j] = row owning column j, or -1
+	assigned := make([]int, n) // assigned[i] = column owned by row i, or -1
+
+	eps := maxB / 2
+	if eps <= 0 {
+		eps = 1
+	}
+	epsMin := 1.0 / float64(n+1)
+
+	for {
+		for j := range owner {
+			owner[j] = -1
+		}
+		for i := range assigned {
+			assigned[i] = -1
+		}
+		queue := make([]int, n)
+		for i := range queue {
+			queue[i] = i
+		}
+		for len(queue) > 0 {
+			i := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+
+			// Find best and second-best net value for bidder i.
+			best, second := math.Inf(-1), math.Inf(-1)
+			bestJ := -1
+			row := b[i*n : (i+1)*n]
+			for j, bij := range row {
+				v := bij - price[j]
+				if v > best {
+					second = best
+					best = v
+					bestJ = j
+				} else if v > second {
+					second = v
+				}
+			}
+			if math.IsInf(second, -1) {
+				second = best // n == 1
+			}
+			bid := best - second + eps
+			price[bestJ] += bid
+			if prev := owner[bestJ]; prev >= 0 {
+				assigned[prev] = -1
+				queue = append(queue, prev)
+			}
+			owner[bestJ] = i
+			assigned[i] = bestJ
+		}
+		if eps < epsMin {
+			break
+		}
+		eps /= scale
+	}
+
+	out := make(lsap.Assignment, n)
+	copy(out, assigned)
+	if err := out.Validate(n); err != nil {
+		return nil, fmt.Errorf("cpuhung: auction produced invalid matching: %w", err)
+	}
+	return &lsap.Solution{Assignment: out, Cost: out.Cost(c)}, nil
+}

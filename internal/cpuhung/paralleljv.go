@@ -1,0 +1,164 @@
+package cpuhung
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"hunipu/internal/lsap"
+)
+
+// ParallelJV is the Jonker–Volgenant algorithm with its inner column
+// scans parallelised over a worker pool — the shape a "fast CPU
+// implementation" takes on a many-core host like the paper's 64-core
+// EPYC 7742. The augmenting structure stays sequential (it must), but
+// the O(n) slack scan per Dijkstra step, which dominates, fans out.
+//
+// Results are bit-identical to JV: ties in the column argmin are
+// broken toward the lowest index regardless of worker count.
+type ParallelJV struct {
+	// Workers is the pool size; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Name implements lsap.Solver.
+func (ParallelJV) Name() string { return "CPU-ParallelJV" }
+
+// chunkResult is one worker's partial scan outcome.
+type chunkResult struct {
+	delta float64
+	j     int
+}
+
+// Solve implements lsap.Solver.
+func (p ParallelJV) Solve(c *lsap.Matrix) (*lsap.Solution, error) {
+	n := c.N
+	if n == 0 {
+		return &lsap.Solution{Assignment: lsap.Assignment{}, Potentials: &lsap.Potentials{}}, nil
+	}
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	// Small instances: the pool overhead dominates, fall back.
+	if workers == 1 || n < 64 {
+		return (JV{}).Solve(c)
+	}
+	inf := math.Inf(1)
+
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	matchRow := make([]int, n+1) // row matched to column j (1-indexed), 0 = free
+	way := make([]int, n+1)
+	minv := make([]float64, n+1)
+	used := make([]bool, n+1)
+
+	// Persistent worker pool: workers wait on a start barrier, scan
+	// their column chunk, and report partials.
+	type job struct {
+		i0 int
+		j0 int
+	}
+	jobs := make([]chan job, workers)
+	results := make([]chunkResult, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		jobs[w] = make(chan job, 1)
+		lo := w*chunk + 1
+		hi := lo + chunk
+		if hi > n+1 {
+			hi = n + 1
+		}
+		go func(w, lo, hi int) {
+			for jb := range jobs[w] {
+				best := chunkResult{delta: inf, j: -1}
+				for j := lo; j < hi; j++ {
+					if used[j] {
+						continue
+					}
+					cij := c.At(jb.i0-1, j-1)
+					if cij == lsap.Forbidden {
+						cij = inf
+					}
+					cur := cij - u[jb.i0] - v[j]
+					if cur < minv[j] {
+						minv[j] = cur
+						way[j] = jb.j0
+					}
+					if minv[j] < best.delta {
+						best.delta = minv[j]
+						best.j = j
+					}
+				}
+				results[w] = best
+				wg.Done()
+			}
+		}(w, lo, hi)
+	}
+	defer func() {
+		for _, ch := range jobs {
+			close(ch)
+		}
+	}()
+
+	for i := 1; i <= n; i++ {
+		matchRow[0] = i
+		j0 := 0
+		for j := range minv {
+			minv[j] = inf
+			used[j] = false
+		}
+		for {
+			used[j0] = true
+			i0 := matchRow[j0]
+			wg.Add(workers)
+			for w := 0; w < workers; w++ {
+				jobs[w] <- job{i0: i0, j0: j0}
+			}
+			wg.Wait()
+			delta := inf
+			j1 := -1
+			for _, r := range results { // chunk order ⇒ lowest index wins ties
+				if r.j >= 0 && r.delta < delta {
+					delta = r.delta
+					j1 = r.j
+				}
+			}
+			if j1 < 0 || math.IsInf(delta, 1) {
+				return nil, lsap.ErrInfeasible
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[matchRow[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if matchRow[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			matchRow[j0] = matchRow[j1]
+			j0 = j1
+		}
+	}
+
+	a := make(lsap.Assignment, n)
+	for j := 1; j <= n; j++ {
+		if matchRow[j] == 0 {
+			return nil, fmt.Errorf("cpuhung: internal error, column %d unmatched", j)
+		}
+		a[matchRow[j]-1] = j - 1
+	}
+	pot := &lsap.Potentials{U: append([]float64(nil), u[1:]...), V: append([]float64(nil), v[1:]...)}
+	return &lsap.Solution{Assignment: a, Cost: a.Cost(c), Potentials: pot}, nil
+}

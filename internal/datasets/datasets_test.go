@@ -1,0 +1,233 @@
+package datasets
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGaussianRangeAndDeterminism(t *testing.T) {
+	for _, k := range []int{1, 10, 100} {
+		n := 64
+		m, err := Gaussian(n, k, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hi := float64(k * n)
+		for _, v := range m.Data {
+			if v < 1 || v > hi {
+				t.Fatalf("k=%d: value %g outside [1,%g]", k, v, hi)
+			}
+			if v != math.Trunc(v) {
+				t.Fatalf("k=%d: non-integer value %g", k, v)
+			}
+		}
+		m2, _ := Gaussian(n, k, 7)
+		for i := range m.Data {
+			if m.Data[i] != m2.Data[i] {
+				t.Fatal("same seed produced different matrices")
+			}
+		}
+		m3, _ := Gaussian(n, k, 8)
+		same := true
+		for i := range m.Data {
+			if m.Data[i] != m3.Data[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical matrices")
+		}
+	}
+}
+
+func TestGaussianMomentsRoughlyMatchPaper(t *testing.T) {
+	// μ = k·n/2 within a few percent on a large sample.
+	n, k := 256, 100
+	m, err := Gaussian(n, k, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range m.Data {
+		sum += v
+	}
+	mean := sum / float64(len(m.Data))
+	want := float64(k*n) / 2
+	if math.Abs(mean-want)/want > 0.05 {
+		t.Fatalf("mean = %g, want ≈ %g", mean, want)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	n, k := 64, 500
+	m, err := Uniform(n, k, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi := float64(k * n)
+	var mn, mx = math.Inf(1), math.Inf(-1)
+	for _, v := range m.Data {
+		mn = math.Min(mn, v)
+		mx = math.Max(mx, v)
+		if v != math.Trunc(v) {
+			t.Fatalf("non-integer %g", v)
+		}
+	}
+	if mn < 1 || mx > hi {
+		t.Fatalf("range [%g,%g] outside [1,%g]", mn, mx, hi)
+	}
+	// A uniform sample of 4096 values over a huge range should spread.
+	if mx-mn < hi/2 {
+		t.Fatalf("uniform sample suspiciously narrow: [%g,%g]", mn, mx)
+	}
+}
+
+func TestSyntheticValidation(t *testing.T) {
+	if _, err := Gaussian(-1, 1, 0); err == nil {
+		t.Fatal("negative size accepted")
+	}
+	if _, err := Gaussian(8, 0, 0); err == nil {
+		t.Fatal("k = 0 accepted")
+	}
+	if _, err := Uniform(8, -3, 0); err == nil {
+		t.Fatal("negative k accepted")
+	}
+}
+
+func TestTableI(t *testing.T) {
+	cases := map[RealDataset]struct {
+		n, m int
+		typ  string
+	}{
+		MultiMagna: {1004, 8323, "biological"},
+		HighSchool: {327, 5818, "proximity"},
+		Voles:      {712, 2391, "proximity"},
+	}
+	for d, want := range cases {
+		ch, err := TableI(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ch.Nodes != want.n || ch.Edges != want.m || ch.Type != want.typ {
+			t.Fatalf("%s: %+v", d, ch)
+		}
+	}
+	if _, err := TableI("nope"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestRealGraphMatchesTableI(t *testing.T) {
+	for _, d := range AllRealDatasets {
+		ch, _ := TableI(d)
+		g, err := RealGraph(d, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.N != ch.Nodes {
+			t.Fatalf("%s: %d nodes, want %d", d, g.N, ch.Nodes)
+		}
+		if g.NumEdges() != ch.Edges {
+			t.Fatalf("%s: %d edges, want exactly %d", d, g.NumEdges(), ch.Edges)
+		}
+	}
+}
+
+func TestRealGraphDeterministic(t *testing.T) {
+	a, err := RealGraph(Voles, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RealGraph(Voles, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		t.Fatal("edge counts differ")
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("same seed produced different graphs")
+		}
+	}
+}
+
+func TestBiologicalDegreesHeavyTailed(t *testing.T) {
+	// Preferential attachment should produce a higher max degree than a
+	// proximity network of similar density.
+	bio, err := RealGraph(MultiMagna, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxDeg := 0
+	for _, d := range bio.Degrees() {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	avg := 2 * float64(bio.NumEdges()) / float64(bio.N)
+	if float64(maxDeg) < 3*avg {
+		t.Fatalf("max degree %d not heavy-tailed (avg %.1f)", maxDeg, avg)
+	}
+}
+
+// Property: every generated matrix is square with in-range integers.
+func TestGaussianProperty(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		n := int(nRaw)%48 + 1
+		k := []int{1, 10, 100, 500}[int(kRaw)%4]
+		m, err := Gaussian(n, k, seed)
+		if err != nil || m.N != n {
+			return false
+		}
+		hi := float64(k * n)
+		for _, v := range m.Data {
+			if v < 1 || v > hi || v != math.Trunc(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaledRealGraph(t *testing.T) {
+	// Full scale delegates to RealGraph.
+	g, n, err := ScaledRealGraph(Voles, 3, 1)
+	if err != nil || n != 712 || g.N != 712 {
+		t.Fatalf("full scale: n=%d err=%v", n, err)
+	}
+	// Quarter scale keeps the average degree roughly constant.
+	g4, n4, err := ScaledRealGraph(Voles, 3, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n4 != 178 || g4.N != 178 {
+		t.Fatalf("scaled n = %d, want 178", n4)
+	}
+	fullDeg := 2 * float64(g.NumEdges()) / float64(g.N)
+	scaledDeg := 2 * float64(g4.NumEdges()) / float64(g4.N)
+	if scaledDeg < fullDeg*0.7 || scaledDeg > fullDeg*1.3 {
+		t.Fatalf("avg degree drifted: full %.2f scaled %.2f", fullDeg, scaledDeg)
+	}
+	// Tiny scales clamp to at least 32 nodes.
+	gT, nT, err := ScaledRealGraph(HighSchool, 3, 0.01)
+	if err != nil || nT != 32 || gT.N != 32 {
+		t.Fatalf("tiny scale: n=%d err=%v", nT, err)
+	}
+	// Validation.
+	if _, _, err := ScaledRealGraph(Voles, 3, 0); err == nil {
+		t.Fatal("scale 0 accepted")
+	}
+	if _, _, err := ScaledRealGraph(Voles, 3, 1.5); err == nil {
+		t.Fatal("scale > 1 accepted")
+	}
+	if _, _, err := ScaledRealGraph("nope", 3, 0.5); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}

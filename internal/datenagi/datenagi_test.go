@@ -1,0 +1,191 @@
+package datenagi
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hunipu/internal/cpuhung"
+	"hunipu/internal/lsap"
+)
+
+func newSolver(t *testing.T) *Solver {
+	t.Helper()
+	s, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func randomIntMatrix(rng *rand.Rand, n, hi int) *lsap.Matrix {
+	m := lsap.NewMatrix(n)
+	for i := range m.Data {
+		m.Data[i] = float64(1 + rng.Intn(hi))
+	}
+	return m
+}
+
+func TestSolveTiny(t *testing.T) {
+	m, _ := lsap.FromRows([][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	})
+	sol, err := newSolver(t).Solve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Cost != 5 {
+		t.Fatalf("cost = %g, want 5", sol.Cost)
+	}
+}
+
+func TestSolveEmptyAndSingle(t *testing.T) {
+	s := newSolver(t)
+	sol, err := s.Solve(lsap.NewMatrix(0))
+	if err != nil || len(sol.Assignment) != 0 {
+		t.Fatalf("empty: %v %v", sol, err)
+	}
+	m, _ := lsap.FromRows([][]float64{{9}})
+	sol, err = s.Solve(m)
+	if err != nil || sol.Cost != 9 {
+		t.Fatalf("single: %v %v", sol, err)
+	}
+}
+
+func TestSolveMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	s := newSolver(t)
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(7)
+		m := randomIntMatrix(rng, n, 40)
+		want, err := (lsap.BruteForce{}).Solve(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Solve(m)
+		if err != nil {
+			t.Fatalf("trial %d n=%d: %v", trial, n, err)
+		}
+		if got.Cost != want.Cost {
+			t.Fatalf("trial %d n=%d: cost %g, want %g", trial, n, got.Cost, want.Cost)
+		}
+	}
+}
+
+func TestSolveMatchesJVMedium(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	s := newSolver(t)
+	for _, n := range []int{16, 37, 64, 101} {
+		m := randomIntMatrix(rng, n, 10*n)
+		want, err := (cpuhung.JV{}).Solve(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Solve(m)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := got.Assignment.Validate(n); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if got.Cost != want.Cost {
+			t.Fatalf("n=%d: cost %g, want %g", n, got.Cost, want.Cost)
+		}
+	}
+}
+
+func TestNoSizeRestriction(t *testing.T) {
+	// Unlike FastHA, Date & Nagi handles arbitrary sizes directly.
+	rng := rand.New(rand.NewSource(2))
+	m := randomIntMatrix(rng, 57, 570)
+	want, err := (cpuhung.JV{}).Solve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := newSolver(t).Solve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cost != want.Cost {
+		t.Fatalf("cost %g, want %g", got.Cost, want.Cost)
+	}
+}
+
+func TestSolveDetailedStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := randomIntMatrix(rng, 48, 480)
+	r, err := newSolver(t).SolveDetailed(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.Kernels == 0 || r.Phases == 0 || r.Modeled <= 0 {
+		t.Fatalf("stats: %+v phases=%d", r.Stats, r.Phases)
+	}
+	// Multi-path augmentation: typically far fewer phases than rows.
+	if r.Phases >= int64(m.N) {
+		t.Fatalf("phases = %d for n = %d; forest should batch augmentations", r.Phases, m.N)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := randomIntMatrix(rng, 32, 99)
+	s := newSolver(t)
+	r1, err := s.SolveDetailed(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.SolveDetailed(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Stats.Cycles != r2.Stats.Cycles {
+		t.Fatalf("cycles differ: %d vs %d", r1.Stats.Cycles, r2.Stats.Cycles)
+	}
+}
+
+func TestRejectsNonFinite(t *testing.T) {
+	m := lsap.NewMatrix(2)
+	m.Set(0, 1, lsap.Forbidden)
+	if _, err := newSolver(t).Solve(m); err == nil {
+		t.Fatal("forbidden edge accepted")
+	}
+}
+
+func TestPhaseBackstop(t *testing.T) {
+	s, err := New(Options{MaxPhases: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(77))
+	if _, err := s.Solve(randomIntMatrix(rng, 32, 3200)); err == nil {
+		t.Fatal("phase backstop never triggered")
+	}
+}
+
+// Property: agrees with JV on random instances.
+func TestSolveProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test in -short mode")
+	}
+	s := newSolver(t)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		m := randomIntMatrix(rng, n, 5+rng.Intn(20*n))
+		want, err := (cpuhung.JV{}).Solve(m)
+		if err != nil {
+			return false
+		}
+		got, err := s.Solve(m)
+		if err != nil {
+			return false
+		}
+		return got.Assignment.Validate(n) == nil && got.Cost == want.Cost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,358 @@
+package datenagi
+
+import (
+	"fmt"
+	"math"
+
+	"hunipu/internal/gpu"
+)
+
+// driver runs the tree-based Hungarian: reductions, greedy starring,
+// then BFS-forest phases with dual updates until the matching is
+// perfect. As in the CUDA original, every wave is a kernel grid and
+// the host inspects counters between waves.
+type driver struct {
+	dev     *gpu.Device
+	st      *state
+	threads int
+}
+
+func (d *driver) grid(items int) int {
+	b := (items + d.threads - 1) / d.threads
+	if b == 0 {
+		b = 1
+	}
+	return b
+}
+
+func (d *driver) launch(name string, items int, k gpu.Kernel) error {
+	_, err := d.dev.Launch(name, d.grid(items), d.threads, k)
+	return err
+}
+
+func (d *driver) run(maxPhases int64) (int64, error) {
+	st := d.st
+	n := st.n
+	if err := d.reduce(); err != nil {
+		return 0, err
+	}
+	if err := d.star(); err != nil {
+		return 0, err
+	}
+	matched := 0
+	for _, j := range st.rowStar {
+		if j >= 0 {
+			matched++
+		}
+	}
+
+	var phases int64
+	for matched < n {
+		if phases++; phases > maxPhases {
+			return phases, fmt.Errorf("datenagi: exceeded %d phases", maxPhases)
+		}
+		gained, err := d.forestPhase(maxPhases)
+		if err != nil {
+			return phases, err
+		}
+		if gained == 0 {
+			return phases, fmt.Errorf("datenagi: phase augmented nothing; stuck")
+		}
+		matched += gained
+	}
+	return phases, nil
+}
+
+// reduce subtracts row then column minima (same kernel structure as
+// the other GPU baselines).
+func (d *driver) reduce() error {
+	st := d.st
+	n := st.n
+	if err := d.launch("dn_row_reduce", n, func(t *gpu.Thread) {
+		i := t.GlobalID()
+		if i >= n {
+			return
+		}
+		row := st.slack[i*n : (i+1)*n]
+		m := row[0]
+		for _, v := range row[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		for k := range row {
+			row[k] -= m
+		}
+		t.Charge(int64(2 * n))
+		t.GlobalCoalesced(int64(16 * n))
+	}); err != nil {
+		return err
+	}
+	return d.launch("dn_col_reduce", n, func(t *gpu.Thread) {
+		j := t.GlobalID()
+		if j >= n {
+			return
+		}
+		m := st.slack[j]
+		for i := 1; i < n; i++ {
+			if v := st.slack[i*n+j]; v < m {
+				m = v
+			}
+		}
+		if m != 0 {
+			for i := 0; i < n; i++ {
+				st.slack[i*n+j] -= m
+			}
+		}
+		t.Charge(int64(2 * n))
+		t.GlobalCoalesced(int64(16 * n))
+	})
+}
+
+// star greedily stars zeros with atomic column claims.
+func (d *driver) star() error {
+	st := d.st
+	n := st.n
+	return d.launch("dn_star", n, func(t *gpu.Thread) {
+		i := t.GlobalID()
+		if i >= n {
+			return
+		}
+		row := st.slack[i*n : (i+1)*n]
+		work := int64(0)
+		for j, v := range row {
+			work++
+			if v == 0 && st.colStar[j] < 0 {
+				t.Atomic(j)
+				st.colStar[j] = i
+				st.rowStar[i] = j
+				break
+			}
+		}
+		t.Charge(work)
+		t.GlobalCoalesced(8 * work)
+	})
+}
+
+// forestPhase grows one alternating BFS forest from every unassigned
+// row and augments all vertex-disjoint paths it finds. Returns the
+// number of augmentations (the matching grows by that much).
+func (d *driver) forestPhase(maxWaves int64) (int, error) {
+	st := d.st
+	n := st.n
+
+	// Reset labels; roots are the unassigned rows.
+	if err := d.launch("dn_reset", n, func(t *gpu.Thread) {
+		i := t.GlobalID()
+		if i >= n {
+			return
+		}
+		st.colParent[i] = -1
+		if st.rowStar[i] < 0 {
+			st.rowLabeled[i] = 1
+		} else {
+			st.rowLabeled[i] = 0
+		}
+		t.Charge(3)
+		t.GlobalCoalesced(12)
+	}); err != nil {
+		return 0, err
+	}
+	st.frontier = st.frontier[:0]
+	for i := 0; i < n; i++ {
+		if st.rowStar[i] < 0 {
+			st.frontier = append(st.frontier, i)
+		}
+	}
+
+	var waves int64
+	for {
+		if waves++; waves > maxWaves {
+			return 0, fmt.Errorf("datenagi: exceeded %d BFS waves", maxWaves)
+		}
+		st.next = st.next[:0]
+		st.found = st.found[:0]
+		if len(st.frontier) > 0 {
+			// Expand: one thread per frontier row scans its zeros and
+			// claims unvisited columns; ends of augmenting paths are
+			// collected through an atomic counter, like the original.
+			frontier := append([]int(nil), st.frontier...)
+			if err := d.launch("dn_expand", len(frontier), func(t *gpu.Thread) {
+				fi := t.GlobalID()
+				if fi >= len(frontier) {
+					return
+				}
+				// Stage the column-claim table into shared memory, as
+				// the CUDA original does: the per-zero probes then cost
+				// shared-latency instead of global-latency.
+				t.SharedStage(int64(4 * n))
+				i := frontier[fi]
+				row := st.slack[i*n : (i+1)*n]
+				for j, v := range row {
+					if v != 0 {
+						continue
+					}
+					t.SharedLoad() // colParent probe from shared memory
+					if st.colParent[j] >= 0 {
+						continue
+					}
+					t.Atomic(j) // claim the column
+					st.colParent[j] = i
+					if st.colStar[j] < 0 {
+						t.Atomic(-1) // shared found-counter
+						st.found = append(st.found, j)
+					} else {
+						r := st.colStar[j]
+						st.rowLabeled[r] = 1
+						t.Atomic(-2) // shared next-frontier counter
+						st.next = append(st.next, r)
+					}
+				}
+				t.Charge(int64(2 * n))
+				t.GlobalCoalesced(int64(8 * n))
+			}); err != nil {
+				return 0, err
+			}
+		}
+		d.dev.HostSync() // the host reads the found/next counters
+
+		if len(st.found) > 0 {
+			return d.augmentAll()
+		}
+		if len(st.next) > 0 {
+			st.frontier = append(st.frontier[:0], st.next...)
+			continue
+		}
+		// Forest exhausted without a path: dual update creates fresh
+		// zeros between labeled rows and unclaimed columns, then every
+		// labeled row re-expands.
+		if err := d.dualUpdate(); err != nil {
+			return 0, err
+		}
+		st.frontier = st.frontier[:0]
+		for i := 0; i < n; i++ {
+			if st.rowLabeled[i] == 1 {
+				st.frontier = append(st.frontier, i)
+			}
+		}
+		if len(st.frontier) == 0 {
+			return 0, fmt.Errorf("datenagi: no labeled rows after dual update")
+		}
+	}
+}
+
+// augmentAll flips the discovered augmenting paths, one thread per
+// path (the structural advantage over FastHA's single-path Step 5).
+// Columns are disjoint by the BFS claiming, but two paths in the same
+// tree share ancestor rows (at least the root), so — as in Date &
+// Nagi — each thread atomically claims the rows of its path before
+// flipping and abandons the path on a conflict: exactly one
+// vertex-disjoint path per tree survives. Returns the number of paths
+// actually augmented.
+func (d *driver) augmentAll() (int, error) {
+	st := d.st
+	found := append([]int(nil), st.found...)
+	usedRows := make([]bool, st.n)
+	augmented := 0
+	if err := d.launch("dn_augment", len(found), func(t *gpu.Thread) {
+		k := t.GlobalID()
+		if k >= len(found) {
+			return
+		}
+		// Walk read-only first, claiming rows; abandon on conflict.
+		var rows, cols []int
+		j := found[k]
+		ok := true
+		for j >= 0 {
+			i := st.colParent[j]
+			t.Atomic(i) // row claim
+			if usedRows[i] {
+				ok = false
+				break
+			}
+			usedRows[i] = true
+			rows = append(rows, i)
+			cols = append(cols, j)
+			j = st.rowStar[i]
+			t.Charge(4)
+			t.GlobalRandom(24) // pointer-chasing loads
+		}
+		if !ok {
+			return
+		}
+		for p := range rows {
+			st.rowStar[rows[p]] = cols[p]
+			st.colStar[cols[p]] = rows[p]
+			t.GlobalRandom(16) // scattered stores
+		}
+		augmented++
+	}); err != nil {
+		return 0, err
+	}
+	return augmented, nil
+}
+
+// dualUpdate subtracts the minimum labeled-row/unclaimed-column slack
+// from labeled rows and adds it to claimed columns, creating at least
+// one new zero reachable by the forest.
+func (d *driver) dualUpdate() error {
+	st := d.st
+	n := st.n
+	inf := math.Inf(1)
+	if err := d.launch("dn_min_partial", n, func(t *gpu.Thread) {
+		i := t.GlobalID()
+		if i >= n {
+			return
+		}
+		m := inf
+		if st.rowLabeled[i] == 1 {
+			t.SharedStage(int64(4 * n)) // claim table cached in shared memory
+			row := st.slack[i*n : (i+1)*n]
+			for j, v := range row {
+				t.SharedLoad()
+				if st.colParent[j] < 0 && v < m {
+					m = v
+				}
+			}
+		}
+		st.rowMin[i] = m
+		t.Charge(int64(2 * n))
+		t.GlobalCoalesced(int64(8 * n))
+	}); err != nil {
+		return err
+	}
+	delta := inf
+	if _, err := d.dev.Launch("dn_min_final", 1, 1, func(t *gpu.Thread) {
+		for i := 0; i < n; i++ {
+			if st.rowMin[i] < delta {
+				delta = st.rowMin[i]
+			}
+		}
+		t.Charge(int64(n))
+		t.GlobalRandom(int64(8 * n))
+	}); err != nil {
+		return err
+	}
+	d.dev.HostSync()
+	if math.IsInf(delta, 1) || delta <= 0 {
+		return fmt.Errorf("datenagi: dual update found no positive minimum (Δ=%g)", delta)
+	}
+	return d.launch("dn_dual_apply", n, func(t *gpu.Thread) {
+		i := t.GlobalID()
+		if i >= n {
+			return
+		}
+		row := st.slack[i*n : (i+1)*n]
+		labeled := st.rowLabeled[i] == 1
+		for j := range row {
+			claimed := st.colParent[j] >= 0
+			if labeled && !claimed {
+				row[j] -= delta
+			} else if !labeled && claimed {
+				row[j] += delta
+			}
+		}
+		t.Charge(int64(2 * n))
+		t.GlobalCoalesced(int64(28 * n))
+	})
+}

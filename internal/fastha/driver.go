@@ -1,0 +1,445 @@
+package fastha
+
+import (
+	"fmt"
+	"math"
+
+	"hunipu/internal/gpu"
+)
+
+// driver is the host-side loop of FastHA: as in the published CUDA
+// implementation, every Munkres phase is a separate kernel grid and
+// the branch decisions run on the host between launches. The per-
+// iteration launch overhead this structure pays is one of the three
+// costs the paper's evaluation identifies.
+type driver struct {
+	dev     gpuDevice
+	st      *state
+	threads int
+}
+
+// gpuDevice is the slice of gpu.Device the driver uses (an interface
+// so tests can observe launches).
+type gpuDevice interface {
+	Launch(name string, blocks, threadsPerBlock int, k gpu.Kernel) (int64, error)
+	// HostSync charges the blocking device-to-host readback the driver
+	// performs whenever it inspects a device scalar.
+	HostSync()
+}
+
+func (d *driver) grid(items int) int {
+	b := (items + d.threads - 1) / d.threads
+	if b == 0 {
+		b = 1
+	}
+	return b
+}
+
+// launch wraps error propagation.
+func (d *driver) launch(name string, items int, k gpu.Kernel) error {
+	_, err := d.dev.Launch(name, d.grid(items), d.threads, k)
+	return err
+}
+
+func (d *driver) run(maxIter int64) error {
+	if err := d.step1Reduce(); err != nil {
+		return err
+	}
+	if err := d.step2Star(); err != nil {
+		return err
+	}
+	var iter int64
+	for {
+		done, err := d.step3CoverColumns()
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+		for {
+			if iter++; iter > maxIter {
+				return fmt.Errorf("fastha: exceeded %d iterations; non-terminating solve?", maxIter)
+			}
+			statusMax, err := d.step4Status()
+			if err != nil {
+				return err
+			}
+			switch statusMax {
+			case 1:
+				if err := d.step5Augment(); err != nil {
+					return err
+				}
+			case -1:
+				if err := d.step6Update(); err != nil {
+					return err
+				}
+				continue
+			default:
+				if err := d.primeBatch(); err != nil {
+					return err
+				}
+				continue
+			}
+			break
+		}
+	}
+}
+
+// step1Reduce subtracts row minima then column minima, one thread per
+// row (then per column); column scans are coalesced (adjacent lanes
+// read adjacent addresses), row scans are strided.
+func (d *driver) step1Reduce() error {
+	st := d.st
+	n := st.n
+	if err := d.launch("row_reduce", n, func(t *gpu.Thread) {
+		i := t.GlobalID()
+		if i >= n {
+			return
+		}
+		row := st.slack[i*n : (i+1)*n]
+		m := row[0]
+		for _, v := range row[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		for k := range row {
+			row[k] -= m
+		}
+		t.Charge(int64(2 * n))
+		t.GlobalRandom(8) // strided row access: poor coalescing
+		t.GlobalCoalesced(int64(16 * n))
+	}); err != nil {
+		return err
+	}
+	return d.launch("col_reduce", n, func(t *gpu.Thread) {
+		j := t.GlobalID()
+		if j >= n {
+			return
+		}
+		m := st.slack[j]
+		for i := 1; i < n; i++ {
+			if v := st.slack[i*n+j]; v < m {
+				m = v
+			}
+		}
+		if m != 0 {
+			for i := 0; i < n; i++ {
+				st.slack[i*n+j] -= m
+			}
+		}
+		t.Charge(int64(2 * n))
+		t.GlobalCoalesced(int64(16 * n))
+	})
+}
+
+// step2Star greedily stars zeros, one thread per row, claiming columns
+// with atomics: sequential execution makes the claim deterministic,
+// and the atomic traffic is charged.
+func (d *driver) step2Star() error {
+	st := d.st
+	n := st.n
+	return d.launch("star_zeros", n, func(t *gpu.Thread) {
+		i := t.GlobalID()
+		if i >= n {
+			return
+		}
+		row := st.slack[i*n : (i+1)*n]
+		work := int64(0)
+		for j, v := range row {
+			work++
+			if v == 0 && st.colStar[j] < 0 {
+				t.Atomic(j)
+				st.colStar[j] = i
+				st.rowStar[i] = j
+				break
+			}
+		}
+		t.Charge(work)
+		t.GlobalCoalesced(8 * work)
+	})
+}
+
+// step3CoverColumns covers starred columns and counts them with a
+// two-stage reduction (three launches, as block-wide reductions need
+// separate kernels without shared-memory barriers).
+func (d *driver) step3CoverColumns() (bool, error) {
+	st := d.st
+	n := st.n
+	if err := d.launch("cover_cols", n, func(t *gpu.Thread) {
+		j := t.GlobalID()
+		if j >= n {
+			return
+		}
+		if st.colStar[j] >= 0 {
+			st.colCover[j] = 1
+		} else {
+			st.colCover[j] = 0
+		}
+		t.Charge(2)
+		t.GlobalCoalesced(8)
+	}); err != nil {
+		return false, err
+	}
+	chunks := d.grid(n)
+	if err := d.launch("count_partial", chunks, func(t *gpu.Thread) {
+		c := t.GlobalID()
+		if c >= chunks {
+			return
+		}
+		lo := c * d.threads
+		hi := lo + d.threads
+		if hi > n {
+			hi = n
+		}
+		sum := 0
+		for j := lo; j < hi; j++ {
+			sum += st.colCover[j]
+		}
+		st.partIdx[c] = sum
+		t.Charge(int64(hi - lo))
+		t.GlobalCoalesced(int64(4 * (hi - lo)))
+	}); err != nil {
+		return false, err
+	}
+	covered := 0
+	if _, err := d.dev.Launch("count_final", 1, 1, func(t *gpu.Thread) {
+		for c := 0; c < chunks; c++ {
+			covered += st.partIdx[c]
+		}
+		t.Charge(int64(chunks))
+		t.GlobalRandom(int64(4 * chunks))
+	}); err != nil {
+		return false, err
+	}
+	d.dev.HostSync() // the driver reads the covered count back
+	return covered == n, nil
+}
+
+// step4Status computes each row's zero status with a full-row scan —
+// FastHA has no compressed zero store, so every call rescans the slack
+// matrix, and rows with different zero populations diverge inside
+// their warps (the cost the paper highlights).
+func (d *driver) step4Status() (int, error) {
+	st := d.st
+	n := st.n
+	if err := d.launch("row_status", n, func(t *gpu.Thread) {
+		i := t.GlobalID()
+		if i >= n {
+			return
+		}
+		st.status[i] = -1
+		st.uncovCol[i] = -1
+		work := int64(2)
+		if st.rowCover[i] == 0 {
+			row := st.slack[i*n : (i+1)*n]
+			for j, v := range row {
+				work++
+				if v == 0 {
+					t.GlobalRandom(4) // data-dependent cover lookup
+					if st.colCover[j] == 0 {
+						st.uncovCol[i] = j
+						if st.rowStar[i] < 0 {
+							st.status[i] = 1
+						} else {
+							st.status[i] = 0
+						}
+						break
+					}
+				}
+			}
+		}
+		t.Charge(work)
+		t.GlobalCoalesced(8 * work)
+	}); err != nil {
+		return 0, err
+	}
+	chunks := d.grid(n)
+	if err := d.launch("status_partial", chunks, func(t *gpu.Thread) {
+		c := t.GlobalID()
+		if c >= chunks {
+			return
+		}
+		lo := c * d.threads
+		hi := lo + d.threads
+		if hi > n {
+			hi = n
+		}
+		m := -1
+		for i := lo; i < hi; i++ {
+			if st.status[i] > m {
+				m = st.status[i]
+			}
+		}
+		st.partIdx[c] = m
+		t.Charge(int64(hi - lo))
+		t.GlobalCoalesced(int64(4 * (hi - lo)))
+	}); err != nil {
+		return 0, err
+	}
+	statusMax := -1
+	if _, err := d.dev.Launch("status_final", 1, 1, func(t *gpu.Thread) {
+		for c := 0; c < chunks; c++ {
+			if st.partIdx[c] > statusMax {
+				statusMax = st.partIdx[c]
+			}
+		}
+		t.Charge(int64(chunks))
+		t.GlobalRandom(int64(4 * chunks))
+	}); err != nil {
+		return 0, err
+	}
+	d.dev.HostSync() // the driver branches on statusMax
+	return statusMax, nil
+}
+
+// primeBatch primes all status-0 rows, covers them and uncovers their
+// stars' columns (unique columns, so the scattered writes are safe).
+func (d *driver) primeBatch() error {
+	st := d.st
+	n := st.n
+	return d.launch("prime_cover", n, func(t *gpu.Thread) {
+		i := t.GlobalID()
+		if i >= n {
+			return
+		}
+		if st.status[i] != 0 {
+			t.Charge(1)
+			return
+		}
+		st.rowPrime[i] = st.uncovCol[i]
+		st.rowCover[i] = 1
+		st.colCover[st.rowStar[i]] = 0
+		t.Charge(4)
+		t.GlobalRandom(12) // scattered cover/prime writes
+	})
+}
+
+// step5Augment walks the alternating prime/star path from a status-1
+// row and flips it. Path traversal is inherently sequential, so — as
+// in real GPU Hungarian implementations — it runs on a single thread,
+// leaving the rest of the device idle; every hop is an uncoalesced
+// dependent load. Afterwards primes and covers are cleared.
+func (d *driver) step5Augment() error {
+	st := d.st
+	n := st.n
+	var pathErr error
+	if _, err := d.dev.Launch("augment_path", 1, 1, func(t *gpu.Thread) {
+		start := -1
+		for i := 0; i < n; i++ {
+			t.Charge(1)
+			if st.status[i] == 1 {
+				start = i
+				break
+			}
+		}
+		if start < 0 {
+			pathErr = fmt.Errorf("fastha: augment called without a status-1 row")
+			return
+		}
+		row, col := start, st.uncovCol[start]
+		st.rowPrime[row] = col
+		for hops := 0; ; hops++ {
+			if hops > n {
+				pathErr = fmt.Errorf("fastha: augmenting path exceeded %d hops", n)
+				return
+			}
+			t.GlobalRandom(8)
+			starRow := st.colStar[col]
+			st.rowStar[row] = col
+			st.colStar[col] = row
+			t.GlobalRandom(16)
+			t.Charge(6)
+			if starRow < 0 {
+				return
+			}
+			t.GlobalRandom(8)
+			nextCol := st.rowPrime[starRow]
+			if nextCol < 0 {
+				pathErr = fmt.Errorf("fastha: starred row %d has no prime", starRow)
+				return
+			}
+			row, col = starRow, nextCol
+		}
+	}); err != nil {
+		return err
+	}
+	if pathErr != nil {
+		return pathErr
+	}
+	return d.launch("clear_covers", st.n, func(t *gpu.Thread) {
+		i := t.GlobalID()
+		if i >= st.n {
+			return
+		}
+		st.rowPrime[i] = -1
+		st.rowCover[i] = 0
+		st.colCover[i] = 0
+		t.Charge(3)
+		t.GlobalCoalesced(12)
+	})
+}
+
+// step6Update finds the minimum uncovered value with a two-stage
+// reduction and applies the ±Δ update; each pass streams the whole
+// matrix through global memory.
+func (d *driver) step6Update() error {
+	st := d.st
+	n := st.n
+	inf := math.Inf(1)
+	if err := d.launch("min_partial", n, func(t *gpu.Thread) {
+		i := t.GlobalID()
+		if i >= n {
+			return
+		}
+		m := inf
+		if st.rowCover[i] == 0 {
+			row := st.slack[i*n : (i+1)*n]
+			for j, v := range row {
+				if st.colCover[j] == 0 && v < m {
+					m = v
+				}
+			}
+		}
+		st.partials[i] = m
+		t.Charge(int64(2 * n))
+		t.GlobalCoalesced(int64(12 * n))
+	}); err != nil {
+		return err
+	}
+	delta := inf
+	if _, err := d.dev.Launch("min_final", 1, 1, func(t *gpu.Thread) {
+		for i := 0; i < n; i++ {
+			if st.partials[i] < delta {
+				delta = st.partials[i]
+			}
+		}
+		t.Charge(int64(n))
+		t.GlobalRandom(int64(8 * n))
+	}); err != nil {
+		return err
+	}
+	d.dev.HostSync() // the driver validates Δ before the update kernel
+	if math.IsInf(delta, 1) || delta <= 0 {
+		return fmt.Errorf("fastha: slack update found no positive uncovered minimum (Δ=%g)", delta)
+	}
+	return d.launch("apply_delta", n, func(t *gpu.Thread) {
+		i := t.GlobalID()
+		if i >= n {
+			return
+		}
+		row := st.slack[i*n : (i+1)*n]
+		rc := st.rowCover[i] != 0
+		for j := range row {
+			cc := st.colCover[j] != 0
+			if rc && cc {
+				row[j] += delta
+			} else if !rc && !cc {
+				row[j] -= delta
+			}
+		}
+		t.Charge(int64(2 * n))
+		t.GlobalCoalesced(int64(28 * n))
+	})
+}

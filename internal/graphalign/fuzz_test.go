@@ -1,0 +1,37 @@
+package graphalign
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadGraph checks the edge-list parser never panics and that any
+// successfully parsed graph round-trips through WriteTo.
+func FuzzReadGraph(f *testing.F) {
+	f.Add("n 3\n0 1\n1 2\n")
+	f.Add("n 0\n")
+	f.Add("# comment\nn 2\n\n0 1\n")
+	f.Add("n 5\n4 0\n")
+	f.Add("")
+	f.Add("n x\n")
+	f.Add("n 2\n0 0\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadGraph(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if _, err := g.WriteTo(&buf); err != nil {
+			t.Fatalf("WriteTo failed: %v", err)
+		}
+		again, err := ReadGraph(&buf)
+		if err != nil {
+			t.Fatalf("round-trip failed: %v", err)
+		}
+		if again.N != g.N || again.NumEdges() != g.NumEdges() {
+			t.Fatalf("round-trip n=%d m=%d, want n=%d m=%d",
+				again.N, again.NumEdges(), g.N, g.NumEdges())
+		}
+	})
+}

@@ -1,0 +1,166 @@
+// Package graphalign implements the paper's use case (Section V-C):
+// aligning a graph with a noisy copy of itself. It provides an
+// undirected graph type, the edge-retention noise model the evaluation
+// uses, the GRAMPA spectral similarity of Fan et al. 2019, and the
+// conversion from similarity (maximise) to integer costs (minimise)
+// that the LSAP solvers consume.
+package graphalign
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"hunipu/internal/linalg"
+)
+
+// Graph is a simple undirected graph on nodes 0..N-1.
+type Graph struct {
+	N     int
+	edges map[[2]int]struct{}
+}
+
+// NewGraph creates an empty graph with n nodes.
+func NewGraph(n int) *Graph {
+	if n < 0 {
+		panic("graphalign: negative node count")
+	}
+	return &Graph{N: n, edges: map[[2]int]struct{}{}}
+}
+
+func edgeKey(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}
+
+// AddEdge inserts the undirected edge {u, v}; self-loops and
+// duplicates are ignored. It reports whether the edge was new.
+func (g *Graph) AddEdge(u, v int) bool {
+	if u == v || u < 0 || v < 0 || u >= g.N || v >= g.N {
+		return false
+	}
+	k := edgeKey(u, v)
+	if _, dup := g.edges[k]; dup {
+		return false
+	}
+	g.edges[k] = struct{}{}
+	return true
+}
+
+// HasEdge reports whether {u, v} is present.
+func (g *Graph) HasEdge(u, v int) bool {
+	_, ok := g.edges[edgeKey(u, v)]
+	return ok
+}
+
+// RemoveEdge deletes {u, v} and reports whether it existed.
+func (g *Graph) RemoveEdge(u, v int) bool {
+	k := edgeKey(u, v)
+	if _, ok := g.edges[k]; !ok {
+		return false
+	}
+	delete(g.edges, k)
+	return true
+}
+
+// NumEdges returns the edge count m.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Edges returns the edge list in deterministic (sorted) order.
+func (g *Graph) Edges() [][2]int {
+	out := make([][2]int, 0, len(g.edges))
+	for e := range g.edges {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Degrees returns the degree sequence.
+func (g *Graph) Degrees() []int {
+	d := make([]int, g.N)
+	for e := range g.edges {
+		d[e[0]]++
+		d[e[1]]++
+	}
+	return d
+}
+
+// Adjacency returns the dense symmetric 0/1 adjacency matrix.
+func (g *Graph) Adjacency() *linalg.Dense {
+	a := linalg.NewDense(g.N, g.N)
+	for e := range g.edges {
+		a.Set(e[0], e[1], 1)
+		a.Set(e[1], e[0], 1)
+	}
+	return a
+}
+
+// Clone returns a deep copy.
+func (g *Graph) Clone() *Graph {
+	c := NewGraph(g.N)
+	for e := range g.edges {
+		c.edges[e] = struct{}{}
+	}
+	return c
+}
+
+// NoisyCopy returns the evaluation's noise model: a copy of g
+// retaining exactly ⌈keep·m⌉ of the original edges, sampled uniformly
+// without replacement ("modified versions featuring different
+// percentages of edges", Section V-C).
+func (g *Graph) NoisyCopy(rng *rand.Rand, keep float64) (*Graph, error) {
+	if keep < 0 || keep > 1 {
+		return nil, fmt.Errorf("graphalign: keep fraction %g outside [0,1]", keep)
+	}
+	edges := g.Edges()
+	target := int(float64(len(edges))*keep + 0.5)
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	out := NewGraph(g.N)
+	for _, e := range edges[:target] {
+		out.AddEdge(e[0], e[1])
+	}
+	return out, nil
+}
+
+// PermuteNodes relabels nodes by perm (new[perm[i]] gets old i's
+// edges), modelling the unknown correspondence alignment must recover.
+func (g *Graph) PermuteNodes(perm []int) (*Graph, error) {
+	if len(perm) != g.N {
+		return nil, fmt.Errorf("graphalign: permutation length %d, want %d", len(perm), g.N)
+	}
+	seen := make([]bool, g.N)
+	for _, p := range perm {
+		if p < 0 || p >= g.N || seen[p] {
+			return nil, fmt.Errorf("graphalign: not a permutation")
+		}
+		seen[p] = true
+	}
+	out := NewGraph(g.N)
+	for e := range g.edges {
+		out.AddEdge(perm[e[0]], perm[e[1]])
+	}
+	return out, nil
+}
+
+// Accuracy returns the node-correctness of an alignment: the fraction
+// of nodes mapped to their true counterpart under truth.
+func Accuracy(alignment, truth []int) float64 {
+	if len(alignment) == 0 {
+		return 0
+	}
+	ok := 0
+	for i, a := range alignment {
+		if i < len(truth) && a == truth[i] {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(alignment))
+}

@@ -1,0 +1,328 @@
+package graphalign
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hunipu/internal/cpuhung"
+	"hunipu/internal/linalg"
+)
+
+func ringGraph(n int) *Graph {
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n)
+	}
+	return g
+}
+
+func randomGraph(rng *rand.Rand, n int, p float64) *Graph {
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := NewGraph(4)
+	if !g.AddEdge(0, 1) || !g.AddEdge(2, 1) {
+		t.Fatal("AddEdge failed")
+	}
+	if g.AddEdge(1, 0) {
+		t.Fatal("duplicate edge accepted")
+	}
+	if g.AddEdge(2, 2) {
+		t.Fatal("self-loop accepted")
+	}
+	if g.AddEdge(0, 9) {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if g.NumEdges() != 2 || !g.HasEdge(1, 0) || g.HasEdge(0, 3) {
+		t.Fatal("edge state wrong")
+	}
+	if !g.RemoveEdge(0, 1) || g.RemoveEdge(0, 1) {
+		t.Fatal("RemoveEdge broken")
+	}
+	deg := g.Degrees()
+	if deg[1] != 1 || deg[2] != 1 || deg[0] != 0 {
+		t.Fatalf("degrees = %v", deg)
+	}
+}
+
+func TestEdgesDeterministicOrder(t *testing.T) {
+	g := NewGraph(5)
+	g.AddEdge(3, 1)
+	g.AddEdge(0, 4)
+	g.AddEdge(0, 2)
+	e := g.Edges()
+	want := [][2]int{{0, 2}, {0, 4}, {1, 3}}
+	for i := range want {
+		if e[i] != want[i] {
+			t.Fatalf("Edges() = %v", e)
+		}
+	}
+}
+
+func TestAdjacencySymmetric(t *testing.T) {
+	g := ringGraph(6)
+	a := g.Adjacency()
+	if !a.IsSymmetric(0) {
+		t.Fatal("adjacency not symmetric")
+	}
+	sum := 0.0
+	for _, v := range a.Data {
+		sum += v
+	}
+	if sum != float64(2*g.NumEdges()) {
+		t.Fatalf("adjacency sum = %g", sum)
+	}
+}
+
+func TestNoisyCopyKeepsExactFraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomGraph(rng, 40, 0.3)
+	for _, keep := range []float64{0.8, 0.9, 0.95, 0.99, 1.0} {
+		noisy, err := g.NoisyCopy(rng, keep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int(float64(g.NumEdges())*keep + 0.5)
+		if noisy.NumEdges() != want {
+			t.Fatalf("keep=%g: %d edges, want %d", keep, noisy.NumEdges(), want)
+		}
+		// Noisy edges are a subset of the original.
+		for _, e := range noisy.Edges() {
+			if !g.HasEdge(e[0], e[1]) {
+				t.Fatalf("keep=%g: edge %v not in original", keep, e)
+			}
+		}
+	}
+	if _, err := g.NoisyCopy(rng, 1.5); err == nil {
+		t.Fatal("keep > 1 accepted")
+	}
+}
+
+func TestPermuteNodes(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1)
+	p, err := g.PermuteNodes([]int{2, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.HasEdge(2, 0) || p.NumEdges() != 1 {
+		t.Fatal("permutation wrong")
+	}
+	if _, err := g.PermuteNodes([]int{0, 0, 1}); err == nil {
+		t.Fatal("non-permutation accepted")
+	}
+	if _, err := g.PermuteNodes([]int{0}); err == nil {
+		t.Fatal("short permutation accepted")
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	if a := Accuracy([]int{0, 1, 2}, []int{0, 1, 2}); a != 1 {
+		t.Fatalf("accuracy = %g", a)
+	}
+	if a := Accuracy([]int{0, 2, 1, 3}, []int{0, 1, 2, 3}); a != 0.5 {
+		t.Fatalf("accuracy = %g", a)
+	}
+	if a := Accuracy(nil, nil); a != 0 {
+		t.Fatalf("accuracy(nil) = %g", a)
+	}
+}
+
+func TestGrampaValidation(t *testing.T) {
+	g1, g2 := ringGraph(4), ringGraph(5)
+	if _, err := Grampa(g1, g2, DefaultEta); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if _, err := Grampa(g1, g1, 0); err == nil {
+		t.Fatal("eta = 0 accepted")
+	}
+	sim, err := Grampa(NewGraph(0), NewGraph(0), DefaultEta)
+	if err != nil || sim.Rows != 0 {
+		t.Fatalf("empty grampa: %v", err)
+	}
+}
+
+func TestGrampaSelfAlignmentIsDiagonalHeavy(t *testing.T) {
+	// Aligning an asymmetric graph with itself: the identity should be
+	// the optimal assignment on the GRAMPA similarity.
+	rng := rand.New(rand.NewSource(5))
+	g := randomGraph(rng, 24, 0.2)
+	prob, err := BuildAlignment(g, g.Clone(), DefaultEta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := (cpuhung.JV{}).Solve(prob.Cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := Accuracy(sol.Assignment, prob.Truth)
+	if acc < 0.95 {
+		t.Fatalf("self-alignment accuracy = %g, want ≈ 1", acc)
+	}
+}
+
+func TestGrampaNoisyAlignmentRecovers(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	g := randomGraph(rng, 30, 0.25)
+	noisy, err := g.NoisyCopy(rng, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob, err := BuildAlignment(g, noisy, DefaultEta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := (cpuhung.JV{}).Solve(prob.Cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(sol.Assignment, prob.Truth); acc < 0.5 {
+		t.Fatalf("alignment accuracy %g too low at 95%% retained edges", acc)
+	}
+}
+
+func TestSimilarityToCost(t *testing.T) {
+	s := newSim(2, []float64{1, 0.5, 0, 1})
+	c, err := SimilarityToCost(s, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// max=1, min=0: cost = (1−sim)·100.
+	want := []float64{0, 50, 100, 0}
+	for i := range want {
+		if c.Data[i] != want[i] {
+			t.Fatalf("cost = %v, want %v", c.Data, want)
+		}
+	}
+}
+
+func TestSimilarityToCostDegenerate(t *testing.T) {
+	s := newSim(2, []float64{3, 3, 3, 3})
+	c, err := SimilarityToCost(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range c.Data {
+		if v != 0 {
+			t.Fatal("constant similarity should give zero costs")
+		}
+	}
+}
+
+func TestSimilarityToCostOrderPreserved(t *testing.T) {
+	// Higher similarity must map to lower cost.
+	s := newSim(2, []float64{0.9, 0.1, 0.4, 0.8})
+	c, err := SimilarityToCost(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(c.At(0, 0) < c.At(0, 1)) || !(c.At(1, 1) < c.At(1, 0)) {
+		t.Fatalf("cost order broken: %v", c.Data)
+	}
+	if _, err := SimilarityToCost(newSim(1, []float64{math.Inf(1)}), 0); err == nil {
+		t.Fatal("non-finite similarity accepted")
+	}
+}
+
+// Property: the noisy copy never gains edges and never exceeds the
+// original edge set.
+func TestNoisySubsetProperty(t *testing.T) {
+	f := func(seed int64, keepPct uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		keep := float64(keepPct%101) / 100
+		g := randomGraph(rng, 15, 0.4)
+		noisy, err := g.NoisyCopy(rng, keep)
+		if err != nil {
+			return false
+		}
+		if noisy.NumEdges() > g.NumEdges() {
+			return false
+		}
+		for _, e := range noisy.Edges() {
+			if !g.HasEdge(e[0], e[1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newSim builds a Dense similarity matrix for tests.
+func newSim(n int, data []float64) *linalg.Dense {
+	return &linalg.Dense{Rows: n, Cols: n, Data: data}
+}
+
+// GRAMPA must recover a hidden node relabeling: align g with a
+// permuted copy of itself and check the mapping matches the
+// permutation.
+func TestGrampaRecoversPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	n := 26
+	g := randomGraph(rng, n, 0.3)
+	perm := rng.Perm(n)
+	permuted, err := g.PermuteNodes(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := Grampa(g, permuted, DefaultEta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, err := SimilarityToCost(sim, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := (cpuhung.JV{}).Solve(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(sol.Assignment, perm); acc < 0.9 {
+		t.Fatalf("permutation recovery accuracy = %g", acc)
+	}
+}
+
+// Degenerate graphs exercise the spectral path's edge cases.
+func TestGrampaDegenerateGraphs(t *testing.T) {
+	// Empty graphs: constant similarity, any matching optimal.
+	e1, e2 := NewGraph(5), NewGraph(5)
+	prob, err := BuildAlignment(e1, e2, DefaultEta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (cpuhung.JV{}).Solve(prob.Cost); err != nil {
+		t.Fatal(err)
+	}
+	// Complete graphs: all nodes symmetric, still solvable.
+	c1, c2 := NewGraph(6), NewGraph(6)
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			c1.AddEdge(i, j)
+			c2.AddEdge(i, j)
+		}
+	}
+	prob, err = BuildAlignment(c1, c2, DefaultEta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := (cpuhung.JV{}).Solve(prob.Cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sol.Assignment.Validate(6); err != nil {
+		t.Fatal(err)
+	}
+}

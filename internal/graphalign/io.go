@@ -1,0 +1,77 @@
+package graphalign
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteTo serialises the graph as a plain edge list: a header line
+// "n <nodes>" followed by one "u v" line per edge in deterministic
+// order.
+func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var total int64
+	n, err := fmt.Fprintf(bw, "n %d\n", g.N)
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	for _, e := range g.Edges() {
+		n, err = fmt.Fprintf(bw, "%d %d\n", e[0], e[1])
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, bw.Flush()
+}
+
+// ReadGraph parses the format written by WriteTo. Blank lines and
+// lines starting with '#' are ignored.
+func ReadGraph(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	var g *Graph
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if g == nil {
+			if len(fields) != 2 || fields[0] != "n" {
+				return nil, fmt.Errorf("graphalign: line %d: expected header \"n <nodes>\", got %q", lineNo, line)
+			}
+			nodes, err := strconv.Atoi(fields[1])
+			if err != nil || nodes < 0 {
+				return nil, fmt.Errorf("graphalign: line %d: bad node count %q", lineNo, fields[1])
+			}
+			g = NewGraph(nodes)
+			continue
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("graphalign: line %d: expected \"u v\", got %q", lineNo, line)
+		}
+		u, err1 := strconv.Atoi(fields[0])
+		v, err2 := strconv.Atoi(fields[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("graphalign: line %d: bad edge %q", lineNo, line)
+		}
+		if u == v || u < 0 || v < 0 || u >= g.N || v >= g.N {
+			return nil, fmt.Errorf("graphalign: line %d: edge (%d,%d) invalid for n=%d", lineNo, u, v, g.N)
+		}
+		g.AddEdge(u, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("graphalign: empty graph input")
+	}
+	return g, nil
+}

@@ -1,0 +1,58 @@
+package graphalign
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGraphRoundTrip(t *testing.T) {
+	g := NewGraph(5)
+	g.AddEdge(0, 3)
+	g.AddEdge(1, 2)
+	g.AddEdge(4, 0)
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != 5 || got.NumEdges() != 3 {
+		t.Fatalf("round trip: n=%d m=%d", got.N, got.NumEdges())
+	}
+	for _, e := range g.Edges() {
+		if !got.HasEdge(e[0], e[1]) {
+			t.Fatalf("missing edge %v", e)
+		}
+	}
+}
+
+func TestReadGraphCommentsAndBlanks(t *testing.T) {
+	in := "# a comment\n\nn 3\n0 1\n# another\n1 2\n"
+	g, err := ReadGraph(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+}
+
+func TestReadGraphErrors(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"3\n0 1\n",
+		"n x\n",
+		"n -2\n",
+		"n 3\n0\n",
+		"n 3\n0 a\n",
+		"n 3\n0 3\n",
+		"n 3\n1 1\n",
+	} {
+		if _, err := ReadGraph(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadGraph(%q) succeeded, want error", in)
+		}
+	}
+}

@@ -1,0 +1,281 @@
+// Package ipu simulates a Graphcore-style Intelligence Processing Unit
+// at the level the HunIPU paper designs against: a MIMD grid of tiles,
+// each with a small private SRAM and six hardware worker threads,
+// connected by an all-to-all exchange fabric and executing under
+// Valiant's Bulk-Synchronous Parallel (BSP) model.
+//
+// The simulator is a *cost-model* simulator: codelets execute natively
+// in Go (so results are exact) while every BSP superstep is charged
+// compute, synchronisation, and exchange cycles from the machine model.
+// The four design constraints the paper enumerates are enforced or
+// charged here and in package poplar:
+//
+//	C1 — no atomic operations: package poplar rejects compute sets in
+//	     which two vertices write overlapping tensor regions.
+//	C2 — modest tile memory: allocations are tracked per tile and a
+//	     graph that exceeds TileMemory bytes fails to compile.
+//	C3 — BSP synchronisation: a superstep costs the *maximum* tile
+//	     time plus a fixed sync overhead, so imbalance is paid for.
+//	C4 — slow dynamic operations: exchange traffic is charged per
+//	     byte moved between tiles, so dynamic slicing strategies have
+//	     measurably different costs.
+package ipu
+
+import (
+	"fmt"
+	"time"
+)
+
+// Config describes the simulated device.
+type Config struct {
+	// Name labels the configuration in reports.
+	Name string
+	// IPUs is the number of chips; tiles are numbered across all of them.
+	IPUs int
+	// TilesPerIPU is the tile count of one chip.
+	TilesPerIPU int
+	// ThreadsPerTile is the number of hardware worker threads per tile.
+	ThreadsPerTile int
+	// TileMemory is the per-tile SRAM size in bytes.
+	TileMemory int
+	// ClockHz converts cycles to modeled seconds.
+	ClockHz float64
+	// ExchangeBytesPerCycle is the per-tile exchange bandwidth, in
+	// bytes per cycle in each direction, for on-chip traffic.
+	ExchangeBytesPerCycle float64
+	// InterIPUBytesPerCycle is the per-tile bandwidth for traffic that
+	// crosses chips (IPU-Link), lower than on-chip exchange.
+	InterIPUBytesPerCycle float64
+	// SyncCycles is the fixed overhead of one BSP synchronisation.
+	SyncCycles int64
+	// ExchangeLatencyCycles is the fixed setup cost of an exchange
+	// phase that moves at least one byte.
+	ExchangeLatencyCycles int64
+	// VertexOverheadCycles is the fixed dispatch cost of one vertex.
+	VertexOverheadCycles int64
+}
+
+// MK2 returns the configuration of a Colossus MK2 GC200 IPU as the
+// paper describes it: 1472 tiles, 6 threads per tile, 624 KiB SRAM per
+// tile, 1.325 GHz clock, ~8 TB/s aggregate exchange.
+func MK2() Config {
+	return Config{
+		Name:           "Mk2-GC200",
+		IPUs:           1,
+		TilesPerIPU:    1472,
+		ThreadsPerTile: 6,
+		TileMemory:     624 * 1024,
+		ClockHz:        1.325e9,
+		// The Mk2 exchange sustains ~11 GB/s per tile (8 B/cycle at
+		// 1.325 GHz); compiled exchange has only a short setup cost and
+		// on-chip sync completes in well under 100 ns.
+		ExchangeBytesPerCycle: 8.0,
+		InterIPUBytesPerCycle: 0.5,
+		SyncCycles:            100,
+		ExchangeLatencyCycles: 100,
+		VertexOverheadCycles:  24,
+	}
+}
+
+// MK1 returns the first-generation Colossus GC2 configuration: 1216
+// tiles with 256 KiB each at 1.6 GHz. Useful for cross-generation
+// scaling studies; note the smaller tile memory fails to fit the
+// largest matrices that Mk2 handles.
+func MK1() Config {
+	cfg := MK2()
+	cfg.Name = "Mk1-GC2"
+	cfg.TilesPerIPU = 1216
+	cfg.TileMemory = 256 * 1024
+	cfg.ClockHz = 1.6e9
+	cfg.ExchangeBytesPerCycle = 4.0
+	return cfg
+}
+
+// BOW returns the Bow-2000 configuration: a wafer-on-wafer Mk2 with
+// the same tile grid clocked ~40% higher.
+func BOW() Config {
+	cfg := MK2()
+	cfg.Name = "Bow-2000"
+	cfg.ClockHz = 1.85e9
+	return cfg
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.IPUs <= 0:
+		return fmt.Errorf("ipu: IPUs = %d, want ≥ 1", c.IPUs)
+	case c.TilesPerIPU <= 0:
+		return fmt.Errorf("ipu: TilesPerIPU = %d, want ≥ 1", c.TilesPerIPU)
+	case c.ThreadsPerTile <= 0:
+		return fmt.Errorf("ipu: ThreadsPerTile = %d, want ≥ 1", c.ThreadsPerTile)
+	case c.TileMemory <= 0:
+		return fmt.Errorf("ipu: TileMemory = %d, want > 0", c.TileMemory)
+	case c.ClockHz <= 0:
+		return fmt.Errorf("ipu: ClockHz = %g, want > 0", c.ClockHz)
+	case c.ExchangeBytesPerCycle <= 0:
+		return fmt.Errorf("ipu: ExchangeBytesPerCycle = %g, want > 0", c.ExchangeBytesPerCycle)
+	}
+	return nil
+}
+
+// Tiles is the total tile count across all chips.
+func (c Config) Tiles() int { return c.IPUs * c.TilesPerIPU }
+
+// IPUOf returns which chip a tile lives on.
+func (c Config) IPUOf(tile int) int { return tile / c.TilesPerIPU }
+
+// Stats accumulates the modeled execution profile of a device.
+type Stats struct {
+	Supersteps     int64
+	ComputeCycles  int64
+	SyncCycles     int64
+	ExchangeCycles int64
+	BytesExchanged int64
+	VerticesRun    int64
+}
+
+// TotalCycles is the modeled end-to-end cycle count.
+func (s Stats) TotalCycles() int64 {
+	return s.ComputeCycles + s.SyncCycles + s.ExchangeCycles
+}
+
+// Device is a simulated IPU system: it owns per-tile memory accounting
+// and the BSP cycle clock. Graph construction and execution live in
+// package poplar; the device only prices what it is told happened.
+type Device struct {
+	cfg       Config
+	allocated []int64 // bytes allocated per tile
+	stats     Stats
+}
+
+// NewDevice creates a device for the configuration.
+func NewDevice(cfg Config) (*Device, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Device{cfg: cfg, allocated: make([]int64, cfg.Tiles())}, nil
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Stats returns the accumulated execution profile.
+func (d *Device) Stats() Stats { return d.stats }
+
+// ResetClock zeroes the cycle counters (memory stays allocated). Used
+// to exclude graph-construction or host-transfer phases from timings.
+func (d *Device) ResetClock() { d.stats = Stats{} }
+
+// ModeledTime converts the accumulated cycles to simulated wall time.
+func (d *Device) ModeledTime() time.Duration {
+	sec := float64(d.stats.TotalCycles()) / d.cfg.ClockHz
+	return time.Duration(sec * float64(time.Second))
+}
+
+// Alloc reserves n bytes on a tile, failing if the tile SRAM would
+// overflow (constraint C2).
+func (d *Device) Alloc(tile int, n int64) error {
+	if tile < 0 || tile >= len(d.allocated) {
+		return fmt.Errorf("ipu: tile %d out of range [0,%d)", tile, len(d.allocated))
+	}
+	if n < 0 {
+		return fmt.Errorf("ipu: negative allocation %d", n)
+	}
+	if d.allocated[tile]+n > int64(d.cfg.TileMemory) {
+		return fmt.Errorf("ipu: tile %d memory exceeded: %d + %d > %d bytes",
+			tile, d.allocated[tile], n, d.cfg.TileMemory)
+	}
+	d.allocated[tile] += n
+	return nil
+}
+
+// Allocated returns the bytes currently reserved on a tile.
+func (d *Device) Allocated(tile int) int64 { return d.allocated[tile] }
+
+// MaxAllocated returns the most loaded tile's allocation, for reports.
+func (d *Device) MaxAllocated() int64 {
+	var max int64
+	for _, a := range d.allocated {
+		if a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// Superstep charges one BSP superstep: the compute phase costs the
+// slowest tile's time (C3), the sync phase a fixed overhead, and the
+// exchange phase prices the heaviest tile's traffic against the fabric
+// bandwidth (plus a latency if anything moved at all).
+//
+// tileCycles holds per-tile compute time for tiles that ran vertices;
+// bytesIn/bytesOut hold per-tile exchange traffic (either may be nil).
+// crossIPUBytes is the portion of traffic that crossed chips.
+func (d *Device) Superstep(tileCycles map[int]int64, bytesIn, bytesOut map[int]int64, crossIPUBytes int64, vertices int64) {
+	d.stats.Supersteps++
+	d.stats.VerticesRun += vertices
+	var maxCompute int64
+	for _, c := range tileCycles {
+		if c > maxCompute {
+			maxCompute = c
+		}
+	}
+	d.stats.ComputeCycles += maxCompute
+	d.stats.SyncCycles += d.cfg.SyncCycles
+
+	// Every byte moved appears once in bytesIn (receiver side) and once
+	// in bytesOut (sender side); total traffic is counted once, while
+	// the phase duration is gated by the busiest port in either
+	// direction.
+	var maxBytes, total int64
+	for _, b := range bytesIn {
+		total += b
+		if b > maxBytes {
+			maxBytes = b
+		}
+	}
+	for _, b := range bytesOut {
+		if b > maxBytes {
+			maxBytes = b
+		}
+	}
+	if total > 0 {
+		ex := d.cfg.ExchangeLatencyCycles +
+			int64(float64(maxBytes)/d.cfg.ExchangeBytesPerCycle)
+		if crossIPUBytes > 0 {
+			ex += int64(float64(crossIPUBytes) / float64(d.cfg.Tiles()) / d.cfg.InterIPUBytesPerCycle)
+		}
+		d.stats.ExchangeCycles += ex
+		d.stats.BytesExchanged += total
+	}
+}
+
+// ChargeSync adds one bare synchronisation (used by control-flow
+// predicate checks, which on hardware cost a sync but no exchange).
+func (d *Device) ChargeSync() {
+	d.stats.SyncCycles += d.cfg.SyncCycles
+}
+
+// TileTime models the barrel-pipeline thread scheduler of one tile:
+// each hardware thread issues once per ThreadsPerTile device cycles, so
+// a vertex with w work-cycles occupies 6·w device cycles of wall time,
+// and vertices are distributed round-robin over the threads. The tile's
+// compute time is the busiest thread's total.
+func (c Config) TileTime(vertexCycles []int64) int64 {
+	t := c.ThreadsPerTile
+	if len(vertexCycles) == 0 {
+		return 0
+	}
+	threads := make([]int64, t)
+	for i, w := range vertexCycles {
+		threads[i%t] += w + c.VertexOverheadCycles
+	}
+	var max int64
+	for _, v := range threads {
+		if v > max {
+			max = v
+		}
+	}
+	return max * int64(t)
+}

@@ -1,0 +1,283 @@
+package ipuauction
+
+import (
+	"fmt"
+	"math"
+
+	"hunipu/internal/poplar"
+)
+
+// auctionBuilder lays out the static auction graph: benefits in a 1D
+// row decomposition (as HunIPU maps its slack matrix), prices and
+// ownership in column segments, bids row-aligned, and the ε-scaling
+// state on a utility tile.
+type auctionBuilder struct {
+	o           Options
+	g           *poplar.Graph
+	n           int
+	rowsPerTile int
+	numBlocks   int
+	utilTile    int
+
+	benefit  *poplar.Tensor // Float [n,n], row blocks
+	price    *poplar.Tensor // Float [n], column segments
+	owner    *poplar.Tensor // Int [n], column segments
+	assigned *poplar.Tensor // Int [n], row-aligned
+	bidJ     *poplar.Tensor // Int [n], row-aligned: object each bidder wants
+	bidAmt   *poplar.Tensor // Float [n], row-aligned
+	bcast    *poplar.Tensor // Float [numBlocks, n]: staged prices
+
+	maxB    *poplar.Tensor // Float scalar
+	eps     *poplar.Tensor // Float scalar
+	phaseGo *poplar.Tensor // Bool scalar
+	roundGo *poplar.Tensor // Bool scalar
+}
+
+func newAuctionBuilder(o Options, n int) (*auctionBuilder, error) {
+	b := &auctionBuilder{o: o, g: poplar.NewGraph(o.Config), n: n}
+	tiles := o.Config.Tiles()
+	b.rowsPerTile = o.RowsPerTile
+	if b.rowsPerTile == 0 {
+		b.rowsPerTile = (n + tiles - 1) / tiles
+	}
+	if b.rowsPerTile <= 0 {
+		return nil, fmt.Errorf("ipuauction: RowsPerTile = %d", b.rowsPerTile)
+	}
+	b.numBlocks = (n + b.rowsPerTile - 1) / b.rowsPerTile
+	if b.numBlocks > tiles {
+		return nil, fmt.Errorf("ipuauction: n=%d needs %d tiles, device has %d", n, b.numBlocks, tiles)
+	}
+	b.utilTile = tiles - 1
+	if b.utilTile < b.numBlocks {
+		b.utilTile = 0
+	}
+
+	g := b.g
+	b.benefit = g.AddVariable("benefit", poplar.Float, n, n)
+	for blk := 0; blk < b.numBlocks; blk++ {
+		lo, hi := b.blockRows(blk)
+		g.SetTileMapping(b.benefit, blk, lo*n, hi*n)
+	}
+	b.price = g.AddVariable("price", poplar.Float, n)
+	b.owner = g.AddVariable("owner", poplar.Int, n)
+	g.MapSegments(b.price, 32)
+	g.MapSegments(b.owner, 32)
+
+	for _, v := range []struct {
+		t  **poplar.Tensor
+		nm string
+		dt poplar.DType
+	}{
+		{&b.assigned, "assigned", poplar.Int},
+		{&b.bidJ, "bid_j", poplar.Int},
+		{&b.bidAmt, "bid_amt", poplar.Float},
+	} {
+		*v.t = g.AddVariable(v.nm, v.dt, n)
+		for blk := 0; blk < b.numBlocks; blk++ {
+			lo, hi := b.blockRows(blk)
+			g.SetTileMapping(*v.t, blk, lo, hi)
+		}
+	}
+	b.bcast = g.AddVariable("price_bcast", poplar.Float, b.numBlocks, n)
+	for blk := 0; blk < b.numBlocks; blk++ {
+		g.SetTileMapping(b.bcast, blk, blk*n, (blk+1)*n)
+	}
+	for _, v := range []struct {
+		t  **poplar.Tensor
+		nm string
+		dt poplar.DType
+	}{
+		{&b.maxB, "max_b", poplar.Float},
+		{&b.eps, "eps", poplar.Float},
+		{&b.phaseGo, "phase_go", poplar.Bool},
+		{&b.roundGo, "round_go", poplar.Bool},
+	} {
+		*v.t = g.AddVariable(v.nm, v.dt, 1)
+		g.MapAllTo(*v.t, b.utilTile)
+	}
+	return b, nil
+}
+
+func (b *auctionBuilder) blockRows(blk int) (int, int) {
+	lo := blk * b.rowsPerTile
+	hi := lo + b.rowsPerTile
+	if hi > b.n {
+		hi = b.n
+	}
+	return lo, hi
+}
+
+// program assembles the fully on-device ε-scaling auction.
+func (b *auctionBuilder) program() poplar.Program {
+	g, n := b.g, b.n
+
+	// ε initialisation from the benefit maximum (device-side, so the
+	// static program needs no data-dependent host input).
+	initEps := poplar.Sequence(
+		poplar.Reduce(g, b.benefit, b.maxB, poplar.ReduceMax, "auc_maxb"),
+		b.scalarStep("auc_initeps", func(get func(int) float64, set func(int, float64)) {
+			e := get(0) / 2
+			if e <= 0 {
+				e = 1
+			}
+			set(1, e)
+			set(2, 1) // phaseGo
+		}, []*poplar.Tensor{b.maxB}, []*poplar.Tensor{b.maxB, b.eps, b.phaseGo}),
+	)
+
+	// Price broadcast: each row block stages the current prices.
+	bcastCS := g.AddComputeSet("auc_bcast")
+	priceAll := b.price.All()
+	for blk := 0; blk < b.numBlocks; blk++ {
+		dst := b.bcast.Slice(blk*n, (blk+1)*n)
+		bcastCS.AddVertex(blk, func(w *poplar.Worker) {
+			copy(dst.Data(), priceAll.Data())
+			w.ChargeVec(int64(n))
+		}).Reads(priceAll).Writes(dst)
+	}
+
+	// Bid: one MIMD vertex per bidder — each runs its own scan with no
+	// lockstep penalty, the architectural contrast with the GPU version.
+	bidCS := g.AddComputeSet("auc_bid")
+	for i := 0; i < n; i++ {
+		blk := i / b.rowsPerTile
+		row := b.benefit.RowRef(i)
+		prices := b.bcast.Slice(blk*n, (blk+1)*n)
+		asg := b.assigned.Index(i)
+		bj := b.bidJ.Index(i)
+		ba := b.bidAmt.Index(i)
+		epsRef := b.eps.All()
+		bidCS.AddVertex(blk, func(w *poplar.Worker) {
+			if asg.Data()[0] >= 0 {
+				bj.Data()[0] = -1
+				w.Charge(2)
+				return
+			}
+			best, second := math.Inf(-1), math.Inf(-1)
+			bestJ := -1
+			p := prices.Data()
+			for j, bv := range row.Data() {
+				v := bv - p[j]
+				if v > best {
+					second = best
+					best = v
+					bestJ = j
+				} else if v > second {
+					second = v
+				}
+			}
+			if math.IsInf(second, -1) {
+				second = best
+			}
+			bj.Data()[0] = float64(bestJ)
+			ba.Data()[0] = best - second + epsRef.Data()[0]
+			w.ChargeVec(2 * int64(row.Len()))
+		}).Reads(asg, row, prices, epsRef).Writes(bj, ba)
+	}
+
+	// Resolve: the single serializer takes the highest bid per object
+	// (no atomics on the IPU — C1), evicts previous owners, raises
+	// prices, and decides whether another round is needed.
+	resolveCS := g.AddComputeSet("auc_resolve")
+	// Vertex-local scratch (a real codelet would hold this in tile
+	// memory); reset after every use so executions stay independent.
+	winner := make([]int, n)
+	winAmt := make([]float64, n)
+	for j := range winner {
+		winner[j] = -1
+		winAmt[j] = math.Inf(-1)
+	}
+	bidsJ, bidsA := b.bidJ.All(), b.bidAmt.All()
+	ownerAll, assignedAll := b.owner.All(), b.assigned.All()
+	roundRef := b.roundGo.All()
+	priceW := b.price.All()
+	resolveCS.AddVertex(b.utilTile, func(w *poplar.Worker) {
+		bj := bidsJ.Data()
+		ba := bidsA.Data()
+		own := ownerAll.Data()
+		asg := assignedAll.Data()
+		pr := priceW.Data()
+		// Highest bid per object, lowest bidder id breaking ties.
+		for i := 0; i < n; i++ {
+			j := int(bj[i])
+			if j < 0 {
+				continue
+			}
+			// Highest bid wins; equal bids keep the earlier (lower id)
+			// bidder, making resolution deterministic.
+			if prev := winner[j]; prev < 0 || ba[i] > winAmt[j] {
+				winner[j] = i
+				winAmt[j] = ba[i]
+			}
+		}
+		unassigned := 0
+		for j := 0; j < n; j++ {
+			if winner[j] >= 0 {
+				if prev := int(own[j]); prev >= 0 {
+					asg[prev] = -1
+				}
+				own[j] = float64(winner[j])
+				asg[winner[j]] = float64(j)
+				pr[j] += winAmt[j]
+				winner[j] = -1
+				winAmt[j] = math.Inf(-1)
+			}
+		}
+		for i := 0; i < n; i++ {
+			if asg[i] < 0 {
+				unassigned++
+			}
+		}
+		if unassigned > 0 {
+			roundRef.Data()[0] = 1
+		} else {
+			roundRef.Data()[0] = 0
+		}
+		w.Charge(int64(3 * n))
+	}).Reads(bidsJ, bidsA).Writes(ownerAll, assignedAll, priceW, roundRef)
+
+	resetPhase := poplar.Sequence(
+		poplar.Fill(g, b.assigned, -1, "auc_reset_asg"),
+		poplar.Fill(g, b.owner, -1, "auc_reset_owner"),
+		b.scalarStep("auc_arm_round", func(get func(int) float64, set func(int, float64)) {
+			set(0, 1)
+		}, nil, []*poplar.Tensor{b.roundGo}),
+	)
+
+	epsMin := 1.0 / float64(n+1)
+	scale := b.o.EpsScale
+	epsCheck := b.scalarStep("auc_epscheck", func(get func(int) float64, set func(int, float64)) {
+		e := get(0)
+		if e < epsMin {
+			set(1, 0) // phaseGo off: the sub-1/(n+1) phase just ran
+		} else {
+			set(0, e/scale)
+		}
+	}, []*poplar.Tensor{b.eps}, []*poplar.Tensor{b.eps, b.phaseGo})
+
+	round := poplar.Sequence(poplar.Execute(bcastCS), poplar.Execute(bidCS), poplar.Execute(resolveCS))
+	phase := poplar.Sequence(resetPhase, poplar.RepeatWhileTrue(b.roundGo, round), epsCheck)
+	return poplar.Sequence(initEps, poplar.RepeatWhileTrue(b.phaseGo, phase))
+}
+
+// scalarStep builds a single-vertex compute set over ordered scalar
+// tensors: get/set address them by position in the writes list (reads
+// first for get).
+func (b *auctionBuilder) scalarStep(name string, fn func(get func(int) float64, set func(int, float64)), reads, writes []*poplar.Tensor) poplar.Program {
+	cs := b.g.AddComputeSet(name)
+	var rRefs, wRefs []poplar.Ref
+	for _, t := range reads {
+		rRefs = append(rRefs, t.All())
+	}
+	for _, t := range writes {
+		wRefs = append(wRefs, t.All())
+	}
+	cs.AddVertex(b.utilTile, func(w *poplar.Worker) {
+		fn(
+			func(k int) float64 { return rRefs[k].Data()[0] },
+			func(k int, v float64) { wRefs[k].Data()[0] = v },
+		)
+		w.Charge(4)
+	}).Reads(rRefs...).Writes(wRefs...)
+	return poplar.Execute(cs)
+}

@@ -1,0 +1,233 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDenseBasics(t *testing.T) {
+	m := NewDense(2, 3)
+	m.Set(0, 1, 5)
+	m.Set(1, 2, -2)
+	if m.At(0, 1) != 5 || m.At(1, 2) != -2 {
+		t.Fatal("At/Set broken")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) == 9 {
+		t.Fatal("Clone aliases")
+	}
+	tr := m.T()
+	if tr.Rows != 3 || tr.Cols != 2 || tr.At(1, 0) != 5 {
+		t.Fatal("transpose broken")
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := &Dense{Rows: 2, Cols: 2, Data: []float64{1, 2, 3, 4}}
+	b := &Dense{Rows: 2, Cols: 2, Data: []float64{5, 6, 7, 8}}
+	c := Mul(a, b)
+	want := []float64{19, 22, 43, 50}
+	for i, v := range want {
+		if c.Data[i] != v {
+			t.Fatalf("Mul = %v, want %v", c.Data, want)
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := &Dense{Rows: 2, Cols: 3, Data: []float64{1, 0, 2, 0, 3, 0}}
+	got := MulVec(a, []float64{1, 2, 3})
+	if got[0] != 7 || got[1] != 6 {
+		t.Fatalf("MulVec = %v", got)
+	}
+}
+
+func TestMulDimensionPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Mul(NewDense(2, 3), NewDense(2, 3))
+}
+
+func TestIsSymmetric(t *testing.T) {
+	s := &Dense{Rows: 2, Cols: 2, Data: []float64{1, 2, 2, 3}}
+	if !s.IsSymmetric(0) {
+		t.Fatal("symmetric matrix rejected")
+	}
+	a := &Dense{Rows: 2, Cols: 2, Data: []float64{1, 2, 2.1, 3}}
+	if a.IsSymmetric(0.01) {
+		t.Fatal("asymmetric matrix accepted")
+	}
+	if NewDense(2, 3).IsSymmetric(1) {
+		t.Fatal("non-square accepted")
+	}
+}
+
+func TestEigSymDiagonal(t *testing.T) {
+	a := NewDense(3, 3)
+	a.Set(0, 0, 3)
+	a.Set(1, 1, 1)
+	a.Set(2, 2, 2)
+	lambda, v, err := EigSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3}
+	for i, w := range want {
+		if !almostEq(lambda[i], w, 1e-12) {
+			t.Fatalf("λ = %v, want %v", lambda, want)
+		}
+	}
+	// Eigenvectors must be signed unit basis vectors.
+	for c := 0; c < 3; c++ {
+		var norm float64
+		for r := 0; r < 3; r++ {
+			norm += v.At(r, c) * v.At(r, c)
+		}
+		if !almostEq(norm, 1, 1e-12) {
+			t.Fatalf("eigvec %d not unit", c)
+		}
+	}
+}
+
+func TestEigSymKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	a := &Dense{Rows: 2, Cols: 2, Data: []float64{2, 1, 1, 2}}
+	lambda, _, err := EigSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(lambda[0], 1, 1e-12) || !almostEq(lambda[1], 3, 1e-12) {
+		t.Fatalf("λ = %v, want [1 3]", lambda)
+	}
+}
+
+func TestEigSymRejectsBadInput(t *testing.T) {
+	if _, _, err := EigSym(NewDense(2, 3)); err == nil {
+		t.Fatal("non-square accepted")
+	}
+	a := NewDense(2, 2)
+	a.Set(0, 1, 1)
+	if _, _, err := EigSym(a); err == nil {
+		t.Fatal("asymmetric accepted")
+	}
+}
+
+func TestEigSymEmpty(t *testing.T) {
+	lambda, v, err := EigSym(NewDense(0, 0))
+	if err != nil || len(lambda) != 0 || v.Rows != 0 {
+		t.Fatalf("empty eig: %v %v %v", lambda, v, err)
+	}
+}
+
+// reconstruct checks a ≈ V diag(λ) Vᵀ.
+func reconstruct(lambda []float64, v *Dense) *Dense {
+	n := v.Rows
+	d := NewDense(n, n)
+	for i := range lambda {
+		d.Set(i, i, lambda[i])
+	}
+	return Mul(Mul(v, d), v.T())
+}
+
+func TestEigSymReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 5, 20, 60} {
+		a := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := rng.NormFloat64()
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		lambda, v, err := EigSym(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := reconstruct(lambda, v)
+		for i := range a.Data {
+			if !almostEq(got.Data[i], a.Data[i], 1e-8) {
+				t.Fatalf("n=%d: reconstruction error at %d: %g vs %g", n, i, got.Data[i], a.Data[i])
+			}
+		}
+		// Ascending eigenvalues.
+		for i := 1; i < n; i++ {
+			if lambda[i] < lambda[i-1] {
+				t.Fatalf("eigenvalues not sorted: %v", lambda)
+			}
+		}
+		// Orthonormal columns.
+		vtv := Mul(v.T(), v)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if !almostEq(vtv.At(i, j), want, 1e-8) {
+					t.Fatalf("VᵀV not identity at (%d,%d): %g", i, j, vtv.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+// Property: the trace equals the eigenvalue sum (random adjacency-like
+// 0/1 symmetric matrices, the GRAMPA input family).
+func TestEigSymTraceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(24)
+		a := NewDense(n, n)
+		trace := 0.0
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := float64(rng.Intn(2))
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+				if i == j {
+					trace += v
+				}
+			}
+		}
+		lambda, _, err := EigSym(a)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, l := range lambda {
+			sum += l
+		}
+		return almostEq(sum, trace, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEigSym(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 128
+	a := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := EigSym(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

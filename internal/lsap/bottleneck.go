@@ -1,0 +1,172 @@
+package lsap
+
+import "sort"
+
+// BottleneckSolve solves the bottleneck assignment problem: a perfect
+// matching minimising the *maximum* edge cost (instead of the sum).
+// It binary-searches the sorted distinct costs, testing feasibility of
+// "perfect matching using only edges ≤ t" with Hopcroft–Karp. Runs in
+// O(E·√V · log V) over the thresholds.
+func BottleneckSolve(c *Matrix) (*Solution, error) {
+	n := c.N
+	if n == 0 {
+		return &Solution{Assignment: Assignment{}}, nil
+	}
+	vals := make([]float64, 0, n*n)
+	for _, v := range c.Data {
+		if v != Forbidden {
+			vals = append(vals, v)
+		}
+	}
+	if len(vals) == 0 {
+		return nil, ErrInfeasible
+	}
+	sort.Float64s(vals)
+	vals = dedupeSorted(vals)
+
+	lo, hi := 0, len(vals)-1
+	var bestMatch Assignment
+	// The largest threshold always admits the most edges; check it
+	// first so infeasibility is detected before the search.
+	if m := matchWithin(c, vals[hi]); m != nil {
+		bestMatch = m
+	} else {
+		return nil, ErrInfeasible
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if m := matchWithin(c, vals[mid]); m != nil {
+			bestMatch = m
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	maxEdge := 0.0
+	for i, j := range bestMatch {
+		if v := c.At(i, j); v > maxEdge {
+			maxEdge = v
+		}
+	}
+	return &Solution{Assignment: bestMatch, Cost: maxEdge}, nil
+}
+
+func dedupeSorted(v []float64) []float64 {
+	out := v[:0]
+	for i, x := range v {
+		if i == 0 || x != v[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// matchWithin returns a perfect matching using only edges with cost
+// ≤ t, or nil if none exists, via Hopcroft–Karp.
+func matchWithin(c *Matrix, t float64) Assignment {
+	n := c.N
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		row := c.Row(i)
+		for j, v := range row {
+			if v != Forbidden && v <= t {
+				adj[i] = append(adj[i], j)
+			}
+		}
+		if len(adj[i]) == 0 {
+			return nil
+		}
+	}
+	m := hopcroftKarp(n, adj)
+	for _, j := range m {
+		if j < 0 {
+			return nil
+		}
+	}
+	return m
+}
+
+// hopcroftKarp computes a maximum bipartite matching over the
+// adjacency lists (rows → columns), returning row→column (−1 for
+// unmatched rows).
+func hopcroftKarp(n int, adj [][]int) Assignment {
+	const inf = int(^uint(0) >> 1)
+	matchRow := make([]int, n) // row → col
+	matchCol := make([]int, n) // col → row
+	for i := range matchRow {
+		matchRow[i] = -1
+		matchCol[i] = -1
+	}
+	dist := make([]int, n)
+	queue := make([]int, 0, n)
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for i := 0; i < n; i++ {
+			if matchRow[i] < 0 {
+				dist[i] = 0
+				queue = append(queue, i)
+			} else {
+				dist[i] = inf
+			}
+		}
+		found := false
+		for qi := 0; qi < len(queue); qi++ {
+			i := queue[qi]
+			for _, j := range adj[i] {
+				k := matchCol[j]
+				if k < 0 {
+					found = true
+				} else if dist[k] == inf {
+					dist[k] = dist[i] + 1
+					queue = append(queue, k)
+				}
+			}
+		}
+		return found
+	}
+	var dfs func(i int) bool
+	dfs = func(i int) bool {
+		for _, j := range adj[i] {
+			k := matchCol[j]
+			if k < 0 || (dist[k] == dist[i]+1 && dfs(k)) {
+				matchRow[i] = j
+				matchCol[j] = i
+				return true
+			}
+		}
+		dist[i] = inf
+		return false
+	}
+	for bfs() {
+		for i := 0; i < n; i++ {
+			if matchRow[i] < 0 {
+				dfs(i)
+			}
+		}
+	}
+	return matchRow
+}
+
+// MaxMatchingSize returns the size of a maximum bipartite matching on
+// the edges with cost ≤ t — exported for tests and for callers probing
+// feasibility thresholds.
+func MaxMatchingSize(c *Matrix, t float64) int {
+	n := c.N
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j, v := range c.Row(i) {
+			if v != Forbidden && v <= t {
+				adj[i] = append(adj[i], j)
+			}
+		}
+	}
+	m := hopcroftKarp(n, adj)
+	size := 0
+	for _, j := range m {
+		if j >= 0 {
+			size++
+		}
+	}
+	return size
+}

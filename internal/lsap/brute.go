@@ -1,0 +1,67 @@
+package lsap
+
+import (
+	"fmt"
+	"math"
+)
+
+// BruteForce is the O(n!) exact solver used as the test oracle for
+// small instances. It refuses sizes above MaxBruteForceN.
+type BruteForce struct{}
+
+// MaxBruteForceN bounds the oracle to keep n! enumeration tractable.
+const MaxBruteForceN = 10
+
+// Name implements Solver.
+func (BruteForce) Name() string { return "BruteForce" }
+
+// Solve enumerates all permutations and returns the cheapest perfect
+// matching. Forbidden edges are never used; if every permutation hits a
+// forbidden edge the problem is infeasible.
+func (BruteForce) Solve(c *Matrix) (*Solution, error) {
+	n := c.N
+	if n > MaxBruteForceN {
+		return nil, fmt.Errorf("lsap: brute force limited to n ≤ %d, got %d", MaxBruteForceN, n)
+	}
+	if n == 0 {
+		return &Solution{Assignment: Assignment{}, Cost: 0}, nil
+	}
+	best := math.Inf(1)
+	bestPerm := make([]int, n)
+	perm := make([]int, n)
+	used := make([]bool, n)
+	found := false
+
+	var rec func(i int, cost float64)
+	rec = func(i int, cost float64) {
+		if cost >= best {
+			return
+		}
+		if i == n {
+			best = cost
+			copy(bestPerm, perm)
+			found = true
+			return
+		}
+		for j := 0; j < n; j++ {
+			if used[j] {
+				continue
+			}
+			cij := c.At(i, j)
+			if cij == Forbidden {
+				continue
+			}
+			used[j] = true
+			perm[i] = j
+			rec(i+1, cost+cij)
+			used[j] = false
+		}
+	}
+	rec(0, 0)
+	if !found {
+		return nil, ErrInfeasible
+	}
+	a := make(Assignment, n)
+	copy(a, bestPerm)
+	return &Solution{Assignment: a, Cost: best}, nil
+}

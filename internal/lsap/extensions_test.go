@@ -1,0 +1,224 @@
+package lsap
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// bruteKBest enumerates all permutations and returns the k cheapest
+// costs (the oracle for Murty's algorithm).
+func bruteKBest(t *testing.T, m *Matrix, k int) []float64 {
+	t.Helper()
+	n := m.N
+	var costs []float64
+	perm := make([]int, n)
+	used := make([]bool, n)
+	var rec func(i int, cost float64)
+	rec = func(i int, cost float64) {
+		if i == n {
+			costs = append(costs, cost)
+			return
+		}
+		for j := 0; j < n; j++ {
+			if used[j] || m.At(i, j) == Forbidden {
+				continue
+			}
+			used[j] = true
+			perm[i] = j
+			rec(i+1, cost+m.At(i, j))
+			used[j] = false
+		}
+	}
+	rec(0, 0)
+	sort.Float64s(costs)
+	if k > len(costs) {
+		k = len(costs)
+	}
+	return costs[:k]
+}
+
+// oracleSolver adapts BruteForce to the Solver interface for KBest.
+type oracleSolver struct{}
+
+func (oracleSolver) Name() string { return "oracle" }
+func (oracleSolver) Solve(m *Matrix) (*Solution, error) {
+	return (BruteForce{}).Solve(m)
+}
+
+func TestKBestMatchesEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + rng.Intn(4)
+		m := NewMatrix(n)
+		for i := range m.Data {
+			m.Data[i] = float64(1 + rng.Intn(30))
+		}
+		k := 1 + rng.Intn(6)
+		want := bruteKBest(t, m, k)
+		got, err := KBest(m, k, oracleSolver{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d solutions, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Cost != want[i] {
+				t.Fatalf("trial %d: solution %d cost %g, want %g", trial, i, got[i].Cost, want[i])
+			}
+			if err := got[i].Assignment.Validate(n); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+		}
+	}
+}
+
+func TestKBestDistinctAssignments(t *testing.T) {
+	m, _ := FromRows([][]float64{
+		{1, 2, 3},
+		{2, 4, 6},
+		{3, 6, 9},
+	})
+	sols, err := KBest(m, 6, oracleSolver{}) // 3! = 6 total matchings
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) != 6 {
+		t.Fatalf("got %d solutions, want all 6", len(sols))
+	}
+	seen := map[[3]int]bool{}
+	for _, s := range sols {
+		key := [3]int{s.Assignment[0], s.Assignment[1], s.Assignment[2]}
+		if seen[key] {
+			t.Fatalf("duplicate assignment %v", s.Assignment)
+		}
+		seen[key] = true
+	}
+	for i := 1; i < len(sols); i++ {
+		if sols[i].Cost < sols[i-1].Cost {
+			t.Fatal("solutions not in increasing cost order")
+		}
+	}
+}
+
+func TestKBestFewerThanK(t *testing.T) {
+	// Only the diagonal is allowed: exactly one feasible matching.
+	m := NewMatrix(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if i != j {
+				m.Set(i, j, Forbidden)
+			} else {
+				m.Set(i, j, 1)
+			}
+		}
+	}
+	sols, err := KBest(m, 5, oracleSolver{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) != 1 {
+		t.Fatalf("got %d solutions, want 1", len(sols))
+	}
+}
+
+func TestKBestValidation(t *testing.T) {
+	if _, err := KBest(NewMatrix(2), 0, oracleSolver{}); err == nil {
+		t.Fatal("k = 0 accepted")
+	}
+	sols, err := KBest(NewMatrix(0), 3, oracleSolver{})
+	if err != nil || len(sols) != 1 {
+		t.Fatalf("empty matrix: %v %v", sols, err)
+	}
+}
+
+func TestBottleneckKnown(t *testing.T) {
+	// Sum-optimal differs from bottleneck-optimal here: the sum optimum
+	// (diagonal: 1+1+10=12) has bottleneck 10, while the matching
+	// {0→1, 1→0, 2→2}... construct explicitly:
+	m, _ := FromRows([][]float64{
+		{1, 4, 9},
+		{4, 1, 9},
+		{5, 5, 10},
+	})
+	sol, err := BottleneckSolve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every matching must use column 2 somewhere: the best achievable
+	// maximum is 9 (rows 0 or 1 take col 2) vs 10 when row 2 does.
+	if sol.Cost != 9 {
+		t.Fatalf("bottleneck = %g, want 9", sol.Cost)
+	}
+	if err := sol.Assignment.Validate(3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBottleneckInfeasible(t *testing.T) {
+	m := NewMatrix(2)
+	m.Set(0, 0, Forbidden)
+	m.Set(0, 1, Forbidden)
+	m.Set(1, 0, 1)
+	m.Set(1, 1, 1)
+	if _, err := BottleneckSolve(m); err != ErrInfeasible {
+		t.Fatalf("error = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestBottleneckEmpty(t *testing.T) {
+	sol, err := BottleneckSolve(NewMatrix(0))
+	if err != nil || len(sol.Assignment) != 0 {
+		t.Fatalf("empty: %v %v", sol, err)
+	}
+}
+
+// Property: the bottleneck value is ≤ the max edge of the sum-optimal
+// matching, and no threshold below it admits a perfect matching.
+func TestBottleneckProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		m := NewMatrix(n)
+		for i := range m.Data {
+			m.Data[i] = float64(1 + rng.Intn(50))
+		}
+		sol, err := BottleneckSolve(m)
+		if err != nil {
+			return false
+		}
+		// Compare with the sum optimum's bottleneck.
+		sum, err := (BruteForce{}).Solve(m)
+		if err != nil {
+			return false
+		}
+		sumMax := 0.0
+		for i, j := range sum.Assignment {
+			sumMax = math.Max(sumMax, m.At(i, j))
+		}
+		if sol.Cost > sumMax {
+			return false
+		}
+		// Optimality: no perfect matching strictly below the bottleneck.
+		return MaxMatchingSize(m, sol.Cost-0.5) < n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxMatchingSize(t *testing.T) {
+	m, _ := FromRows([][]float64{
+		{1, 9},
+		{9, 1},
+	})
+	if got := MaxMatchingSize(m, 1); got != 2 {
+		t.Fatalf("size at t=1: %d, want 2", got)
+	}
+	if got := MaxMatchingSize(m, 0.5); got != 0 {
+		t.Fatalf("size at t=0.5: %d, want 0", got)
+	}
+}

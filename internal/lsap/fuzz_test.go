@@ -1,0 +1,42 @@
+package lsap
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadMatrix checks the matrix parser never panics and that any
+// successfully parsed matrix round-trips through WriteTo.
+func FuzzReadMatrix(f *testing.F) {
+	f.Add("2\n1 2\n3 4\n")
+	f.Add("1\n0\n")
+	f.Add("3\n1 2 3\n4 5 6\n7 8 9\n")
+	f.Add("2\n1e10 -3.5\n0.25 7\n")
+	f.Add("")
+	f.Add("abc\n")
+	f.Add("2\n1 2\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		m, err := ReadMatrix(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if _, err := m.WriteTo(&buf); err != nil {
+			t.Fatalf("WriteTo of parsed matrix failed: %v", err)
+		}
+		again, err := ReadMatrix(&buf)
+		if err != nil {
+			t.Fatalf("round-trip parse failed: %v", err)
+		}
+		if again.N != m.N {
+			t.Fatalf("round-trip size %d, want %d", again.N, m.N)
+		}
+		for i := range m.Data {
+			// NaN never round-trips equal; other values must.
+			if m.Data[i] == m.Data[i] && again.Data[i] != m.Data[i] {
+				t.Fatalf("round-trip value %g, want %g", again.Data[i], m.Data[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,132 @@
+// Package lsap defines the Linear Sum Assignment Problem (LSAP) used
+// throughout the HunIPU reproduction: square cost matrices, assignments
+// (perfect matchings), feasibility and optimality validation, and a
+// brute-force oracle for tests.
+//
+// The LSAP, following the paper's Section II, is: given a complete
+// bipartite graph G = (P, Q, E) with |P| = |Q| = n and a cost matrix
+// C ∈ R^{n×n}, find the perfect matching M minimising Σ C[i][j]·M[i][j].
+package lsap
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrInfeasible reports that no perfect matching exists (only possible
+// when Inf entries forbid edges; finite matrices are always feasible).
+var ErrInfeasible = errors.New("lsap: no perfect matching exists")
+
+// Forbidden is the cost marking an edge that must not be used.
+// Generators use it to encode incomplete bipartite graphs on the
+// complete-matrix representation the paper assumes.
+const Forbidden = math.MaxFloat64
+
+// Assignment is a perfect matching encoded as the paper's binary matrix
+// M, flattened: Assignment[i] = j means row (agent) i is matched to
+// column (task) j.
+type Assignment []int
+
+// Cost returns the total cost of the assignment under matrix c.
+func (a Assignment) Cost(c *Matrix) float64 {
+	var sum float64
+	for i, j := range a {
+		sum += c.At(i, j)
+	}
+	return sum
+}
+
+// Validate checks that a is a perfect matching for an n×n problem: every
+// row is matched to exactly one column and no column is used twice.
+func (a Assignment) Validate(n int) error {
+	if len(a) != n {
+		return fmt.Errorf("lsap: assignment has %d rows, want %d", len(a), n)
+	}
+	seen := make([]bool, n)
+	for i, j := range a {
+		if j < 0 || j >= n {
+			return fmt.Errorf("lsap: row %d assigned to column %d, out of range [0,%d)", i, j, n)
+		}
+		if seen[j] {
+			return fmt.Errorf("lsap: column %d assigned to more than one row", j)
+		}
+		seen[j] = true
+	}
+	return nil
+}
+
+// Inverse returns the column-to-row view of the matching.
+func (a Assignment) Inverse() Assignment {
+	inv := make(Assignment, len(a))
+	for i := range inv {
+		inv[i] = -1
+	}
+	for i, j := range a {
+		if j >= 0 && j < len(inv) {
+			inv[j] = i
+		}
+	}
+	return inv
+}
+
+// Potentials is an LP-duality certificate: u (row potentials) and
+// v (column potentials) with u[i]+v[j] ≤ C[i][j] for all edges and
+// equality on matched edges prove optimality of a matching.
+type Potentials struct {
+	U []float64
+	V []float64
+}
+
+// VerifyOptimal checks the complementary-slackness certificate: the
+// potentials are feasible for every edge and tight on every matched
+// edge, within tol. A nil error proves a is a minimum-cost perfect
+// matching without needing an oracle.
+func VerifyOptimal(c *Matrix, a Assignment, p Potentials, tol float64) error {
+	n := c.N
+	if err := a.Validate(n); err != nil {
+		return err
+	}
+	if len(p.U) != n || len(p.V) != n {
+		return fmt.Errorf("lsap: potentials have %d/%d entries, want %d", len(p.U), len(p.V), n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			cij := c.At(i, j)
+			if cij == Forbidden {
+				continue
+			}
+			if p.U[i]+p.V[j] > cij+tol {
+				return fmt.Errorf("lsap: potentials infeasible at (%d,%d): u+v = %g > C = %g",
+					i, j, p.U[i]+p.V[j], cij)
+			}
+		}
+	}
+	for i, j := range a {
+		cij := c.At(i, j)
+		if math.Abs(p.U[i]+p.V[j]-cij) > tol {
+			return fmt.Errorf("lsap: matched edge (%d,%d) not tight: u+v = %g, C = %g",
+				i, j, p.U[i]+p.V[j], cij)
+		}
+	}
+	return nil
+}
+
+// Solution bundles a solver's result: the matching, its cost, and, when
+// the solver maintains dual variables, an optimality certificate.
+type Solution struct {
+	Assignment Assignment
+	Cost       float64
+	// Potentials is non-nil when the solver can certify optimality.
+	Potentials *Potentials
+}
+
+// Solver is the interface shared by every LSAP implementation in this
+// repository (HunIPU on the IPU simulator, FastHA on the GPU simulator,
+// and the CPU baselines).
+type Solver interface {
+	// Solve computes a minimum-cost perfect matching of c.
+	Solve(c *Matrix) (*Solution, error)
+	// Name identifies the solver in experiment output.
+	Name() string
+}

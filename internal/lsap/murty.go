@@ -1,0 +1,115 @@
+package lsap
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// KBest enumerates the k lowest-cost perfect matchings in increasing
+// cost order using Murty's partitioning algorithm: the best solution's
+// space is split into subproblems that each force a prefix of the
+// matching and forbid one edge, and a priority queue yields the next-
+// best solution across all open subproblems. Fewer than k solutions
+// are returned when the problem admits fewer feasible matchings.
+//
+// The solver is used as a black box on each subproblem and must
+// support Forbidden edges (JV does; HunIPU and the GPU baselines do
+// not, so the library routes subproblem solves through the provided
+// solver — pass cpuhung.JV{} in typical use).
+func KBest(c *Matrix, k int, solve Solver) ([]*Solution, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("lsap: KBest k = %d, want ≥ 1", k)
+	}
+	n := c.N
+	if n == 0 {
+		return []*Solution{{Assignment: Assignment{}}}, nil
+	}
+
+	root := c.Clone()
+	best, err := solve.Solve(root)
+	if err != nil {
+		if err == ErrInfeasible {
+			return nil, err
+		}
+		return nil, fmt.Errorf("lsap: KBest root solve: %w", err)
+	}
+
+	pq := &nodeQueue{{matrix: root, sol: best}}
+	heap.Init(pq)
+	var out []*Solution
+
+	for len(out) < k && pq.Len() > 0 {
+		node := heap.Pop(pq).(*murtyNode)
+		out = append(out, node.sol)
+		if len(out) == k {
+			break
+		}
+		// Partition the popped node: child i forces the first i−1
+		// assignments of node.sol and forbids the i-th, so every
+		// remaining solution of the node lands in exactly one child.
+		for i := 0; i < n; i++ {
+			child := node.matrix.Clone()
+			// Force assignments 0..i-1: forbid every other column in
+			// those rows and every other row in those columns.
+			feasible := true
+			for r := 0; r < i; r++ {
+				jc := node.sol.Assignment[r]
+				for j := 0; j < n; j++ {
+					if j != jc {
+						child.Set(r, j, Forbidden)
+					}
+				}
+				for r2 := 0; r2 < n; r2++ {
+					if r2 != r {
+						child.Set(r2, jc, Forbidden)
+					}
+				}
+			}
+			// Forbid the i-th edge of the popped solution.
+			if child.At(i, node.sol.Assignment[i]) == Forbidden {
+				feasible = false
+			}
+			child.Set(i, node.sol.Assignment[i], Forbidden)
+			if !feasible {
+				continue
+			}
+			sol, err := solve.Solve(child)
+			if err == ErrInfeasible {
+				continue
+			}
+			if err != nil {
+				return nil, fmt.Errorf("lsap: KBest subproblem: %w", err)
+			}
+			heap.Push(pq, &murtyNode{matrix: child, sol: sol})
+		}
+	}
+	// Costs are reported against the original matrix (Forbidden masks
+	// never appear in returned assignments' edges).
+	for _, s := range out {
+		s.Cost = s.Assignment.Cost(c)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Cost < out[j].Cost })
+	return out, nil
+}
+
+// murtyNode is one open subproblem.
+type murtyNode struct {
+	matrix *Matrix
+	sol    *Solution
+}
+
+// nodeQueue is a min-heap of subproblems by solution cost.
+type nodeQueue []*murtyNode
+
+func (q nodeQueue) Len() int           { return len(q) }
+func (q nodeQueue) Less(i, j int) bool { return q[i].sol.Cost < q[j].sol.Cost }
+func (q nodeQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *nodeQueue) Push(x any)        { *q = append(*q, x.(*murtyNode)) }
+func (q *nodeQueue) Pop() any {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}

@@ -1,0 +1,84 @@
+package poplar
+
+import "fmt"
+
+// DynamicSlice builds the partition-and-distribute dynamic slice of
+// the paper's Section IV-G (Fig. 4), the static-graph analogue of
+// popops::dynamicSlice: every tile owning a region of src checks
+// whether the runtime index (the scalar idx tensor) falls in its
+// segment and forwards the hit into a temporary mapped alongside the
+// regions; a single vertex on out's tile then slices the temporary.
+// out receives src[idx], or miss when idx is out of range (e.g. −1).
+func DynamicSlice(g *Graph, src, idx, out *Tensor, miss float64, name string) Program {
+	if idx.NumElements() != 1 || out.NumElements() != 1 {
+		panic(fmt.Sprintf("poplar: DynamicSlice needs scalar idx/out, got %d/%d",
+			idx.NumElements(), out.NumElements()))
+	}
+	regions := src.MappingRegions()
+	tmpVal := g.AddVariable(name+"/val", src.DType, len(regions))
+	tmpHit := g.AddVariable(name+"/hit", Bool, len(regions))
+	for k, r := range regions {
+		g.SetTileMapping(tmpVal, r.Tile, k, k+1)
+		g.SetTileMapping(tmpHit, r.Tile, k, k+1)
+	}
+	idxRef := idx.All()
+
+	probe := g.AddComputeSet(name + "/probe")
+	for k, r := range regions {
+		seg := src.Slice(r.Start, r.End)
+		val := tmpVal.Index(k)
+		hit := tmpHit.Index(k)
+		start := r.Start
+		probe.AddVertex(r.Tile, func(w *Worker) {
+			i := int(idxRef.Data()[0])
+			if i >= start && i < start+seg.Len() {
+				val.Data()[0] = seg.Data()[i-start]
+				hit.Data()[0] = 1
+			} else {
+				hit.Data()[0] = 0
+			}
+			w.Charge(4)
+		}).Reads(idxRef, seg).Writes(val, hit)
+	}
+
+	slice := g.AddComputeSet(name + "/slice")
+	vals, hits, outRef := tmpVal.All(), tmpHit.All(), out.All()
+	slice.AddVertex(out.TileOf(0), func(w *Worker) {
+		outRef.Data()[0] = miss
+		h := hits.Data()
+		for k, v := range vals.Data() {
+			if h[k] != 0 {
+				outRef.Data()[0] = v
+				break
+			}
+		}
+		w.Charge(int64(vals.Len()))
+	}).Reads(vals, hits).Writes(outRef)
+
+	return Sequence(Execute(probe), Execute(slice))
+}
+
+// DynamicUpdate builds the write-side partition-and-distribute update,
+// the analogue of popops::dynamicUpdate: dst[idx] = val, with each
+// region owner checking locally whether the runtime index lands in its
+// segment. A negative or out-of-range idx writes nothing.
+func DynamicUpdate(g *Graph, dst, idx, val *Tensor, name string) Program {
+	if idx.NumElements() != 1 || val.NumElements() != 1 {
+		panic(fmt.Sprintf("poplar: DynamicUpdate needs scalar idx/val, got %d/%d",
+			idx.NumElements(), val.NumElements()))
+	}
+	cs := g.AddComputeSet(name + "/scatter")
+	idxRef, valRef := idx.All(), val.All()
+	for _, r := range dst.MappingRegions() {
+		seg := dst.Slice(r.Start, r.End)
+		start := r.Start
+		cs.AddVertex(r.Tile, func(w *Worker) {
+			i := int(idxRef.Data()[0])
+			if i >= start && i < start+seg.Len() {
+				seg.Data()[i-start] = valRef.Data()[0]
+			}
+			w.Charge(3)
+		}).Reads(idxRef, valRef, seg).Writes(seg)
+	}
+	return Execute(cs)
+}

@@ -1,0 +1,334 @@
+package poplar
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"hunipu/internal/ipu"
+)
+
+// EngineOption configures engine behaviour.
+type EngineOption func(*Engine)
+
+// WithParallelism sets how many OS threads execute vertices of one
+// compute set concurrently (host-side speed only; modeled cycles are
+// identical at any parallelism). Default: runtime.NumCPU().
+func WithParallelism(n int) EngineOption {
+	return func(e *Engine) {
+		if n > 0 {
+			e.parallel = n
+		}
+	}
+}
+
+// WithMaxSupersteps bounds execution as a runaway-loop backstop: a
+// RepeatWhileTrue whose predicate never clears fails instead of
+// hanging. Default: 2^40.
+func WithMaxSupersteps(n int64) EngineOption {
+	return func(e *Engine) {
+		if n > 0 {
+			e.maxSteps = n
+		}
+	}
+}
+
+// WithProfiling collects a per-compute-set execution profile,
+// retrievable with Engine.Profile after Run.
+func WithProfiling() EngineOption {
+	return func(e *Engine) { e.profile = map[string]*CSProfile{} }
+}
+
+// CSProfile is the accumulated profile of one compute set across all
+// of its executions.
+type CSProfile struct {
+	Name          string
+	Executions    int64
+	ComputeCycles int64
+	Vertices      int64
+}
+
+// Engine owns a compiled graph + program bound to a device. Compiling
+// validates every static property Poplar validates: complete tile
+// mappings, tile-memory fit (C2), and absence of intra-compute-set
+// races (C1). Running charges the device under the BSP model (C3).
+type Engine struct {
+	graph    *Graph
+	program  Program
+	dev      *ipu.Device
+	parallel int
+	maxSteps int64
+
+	compiledCS map[int]bool
+	profile    map[string]*CSProfile
+	trace      *traceLog
+	scratch    struct {
+		tileTime map[int]int64
+	}
+}
+
+// NewEngine compiles the graph and program against the device.
+func NewEngine(g *Graph, program Program, dev *ipu.Device, opts ...EngineOption) (*Engine, error) {
+	if g.cfg.Tiles() != dev.Config().Tiles() {
+		return nil, fmt.Errorf("poplar: graph targets %d tiles, device has %d",
+			g.cfg.Tiles(), dev.Config().Tiles())
+	}
+	e := &Engine{
+		graph:      g,
+		program:    program,
+		dev:        dev,
+		parallel:   runtime.NumCPU(),
+		maxSteps:   1 << 40,
+		compiledCS: map[int]bool{},
+	}
+	e.scratch.tileTime = map[int]int64{}
+	for _, o := range opts {
+		o(e)
+	}
+	// Validate and charge every tensor's memory.
+	for _, t := range g.tensors {
+		if err := t.validateMapping(); err != nil {
+			return nil, err
+		}
+		for _, r := range t.mapping {
+			if err := dev.Alloc(r.Tile, int64(r.End-r.Start)*int64(t.DType.DeviceBytes())); err != nil {
+				return nil, fmt.Errorf("poplar: tensor %q: %w", t.Name, err)
+			}
+		}
+	}
+	if program == nil {
+		return nil, fmt.Errorf("poplar: nil program")
+	}
+	if err := program.compile(e); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Device returns the bound device (for stats and modeled time).
+func (e *Engine) Device() *ipu.Device { return e.dev }
+
+// Profile returns the per-compute-set profiles collected so far,
+// sorted by descending compute cycles. Empty without WithProfiling.
+func (e *Engine) Profile() []CSProfile {
+	out := make([]CSProfile, 0, len(e.profile))
+	for _, p := range e.profile {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ComputeCycles > out[j].ComputeCycles })
+	return out
+}
+
+// Run executes the program once.
+func (e *Engine) Run() error { return e.program.exec(e) }
+
+func (e *Engine) checkBudget() error {
+	if e.dev.Stats().Supersteps > e.maxSteps {
+		return fmt.Errorf("poplar: exceeded %d supersteps; non-terminating program?", e.maxSteps)
+	}
+	return nil
+}
+
+// access is one declared vertex touch, for race detection.
+type access struct {
+	start, end int
+	vertex     int
+	write      bool
+}
+
+// compileComputeSet validates the compute set and precomputes its
+// static exchange profile and per-tile vertex schedule.
+func (e *Engine) compileComputeSet(cs *ComputeSet) error {
+	if e.compiledCS[cs.id] {
+		return nil
+	}
+	e.compiledCS[cs.id] = true
+	cs.compiled = true
+	cs.exchIn = map[int]int64{}
+	cs.exchOut = map[int]int64{}
+	cs.byTile = map[int][]*Vertex{}
+	cfg := e.graph.cfg
+
+	// Race detection: per tensor, collect all declared accesses and
+	// reject overlapping intervals from different vertices when at
+	// least one side writes (the IPU has no atomics — C1).
+	perTensor := map[*Tensor][]access{}
+	record := func(vi int, refs []Ref, write bool) error {
+		for _, r := range refs {
+			if r.T == nil {
+				return fmt.Errorf("poplar: compute set %q vertex %d: nil tensor ref", cs.Name, vi)
+			}
+			perTensor[r.T] = append(perTensor[r.T], access{r.Start, r.End, vi, write})
+		}
+		return nil
+	}
+	for vi, v := range cs.vertices {
+		if v.Tile < 0 || v.Tile >= cfg.Tiles() {
+			return fmt.Errorf("poplar: compute set %q vertex %d on invalid tile %d", cs.Name, vi, v.Tile)
+		}
+		if v.Run == nil {
+			return fmt.Errorf("poplar: compute set %q vertex %d has no codelet", cs.Name, vi)
+		}
+		if err := record(vi, v.reads, false); err != nil {
+			return err
+		}
+		if err := record(vi, v.writes, true); err != nil {
+			return err
+		}
+		cs.byTile[v.Tile] = append(cs.byTile[v.Tile], v)
+	}
+	for t, accs := range perTensor {
+		sort.Slice(accs, func(i, j int) bool { return accs[i].start < accs[j].start })
+		maxEnd, maxEndIdx := -1, -1
+		for i, a := range accs {
+			if i > 0 && a.start < maxEnd {
+				b := accs[maxEndIdx]
+				if a.vertex != b.vertex && (a.write || b.write) {
+					return fmt.Errorf(
+						"poplar: data race in compute set %q on tensor %q: vertices %d and %d overlap in [%d,%d) (C1: no atomics)",
+						cs.Name, t.Name, b.vertex, a.vertex, a.start, min(a.end, maxEnd))
+				}
+			}
+			if a.end > maxEnd {
+				maxEnd, maxEndIdx = a.end, i
+			}
+		}
+	}
+
+	// Static exchange profile: any declared slice not resident on the
+	// vertex's tile moves over the fabric. Reads are deduplicated per
+	// (slice, receiving tile) and the sender is charged once per slice
+	// regardless of how many tiles receive it — the IPU exchange
+	// fabric multicasts, which is what makes the column-state
+	// broadcasts of HunIPU's Steps 4 and 6 affordable. Writes are
+	// point-to-point and charged per vertex.
+	type sliceKey struct {
+		t          *Tensor
+		start, end int
+	}
+	readers := map[sliceKey]map[int]bool{}
+	for _, v := range cs.vertices {
+		for _, r := range v.reads {
+			k := sliceKey{r.T, r.Start, r.End}
+			if readers[k] == nil {
+				readers[k] = map[int]bool{}
+			}
+			readers[k][v.Tile] = true
+		}
+		for _, r := range v.writes {
+			bytes := int64(r.T.DType.DeviceBytes())
+			r.T.regionsIn(r.Start, r.End, func(s, eEnd, homeTile int) {
+				if homeTile == v.Tile {
+					return
+				}
+				b := int64(eEnd-s) * bytes
+				cs.exchOut[v.Tile] += b
+				cs.exchIn[homeTile] += b
+				if cfg.IPUOf(homeTile) != cfg.IPUOf(v.Tile) {
+					cs.crossBytes += b
+				}
+			})
+		}
+	}
+	for k, tiles := range readers {
+		bytes := int64(k.t.DType.DeviceBytes())
+		k.t.regionsIn(k.start, k.end, func(s, eEnd, homeTile int) {
+			b := int64(eEnd-s) * bytes
+			sent := false
+			crossed := false
+			for tile := range tiles {
+				if tile == homeTile {
+					continue
+				}
+				cs.exchIn[tile] += b
+				sent = true
+				if cfg.IPUOf(homeTile) != cfg.IPUOf(tile) && !crossed {
+					// One multicast crosses the IPU link once.
+					cs.crossBytes += b
+					crossed = true
+				}
+			}
+			if sent {
+				cs.exchOut[homeTile] += b
+			}
+		})
+	}
+	return nil
+}
+
+// runComputeSet executes every vertex and charges one BSP superstep.
+func (e *Engine) runComputeSet(cs *ComputeSet) error {
+	tileTime := e.scratch.tileTime
+	clear(tileTime)
+	cfg := e.graph.cfg
+
+	tiles := make([]int, 0, len(cs.byTile))
+	for t := range cs.byTile {
+		tiles = append(tiles, t)
+	}
+	sort.Ints(tiles)
+
+	runTile := func(tile int) int64 {
+		vs := cs.byTile[tile]
+		cycles := make([]int64, len(vs))
+		for i, v := range vs {
+			var w Worker
+			v.Run(&w)
+			cycles[i] = w.cycles
+		}
+		return cfg.TileTime(cycles)
+	}
+
+	if e.parallel <= 1 || len(cs.vertices) < 128 {
+		for _, t := range tiles {
+			tileTime[t] = runTile(t)
+		}
+	} else {
+		times := make([]int64, len(tiles))
+		var wg sync.WaitGroup
+		chunk := (len(tiles) + e.parallel - 1) / e.parallel
+		for lo := 0; lo < len(tiles); lo += chunk {
+			hi := lo + chunk
+			if hi > len(tiles) {
+				hi = len(tiles)
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					times[i] = runTile(tiles[i])
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+		for i, t := range tiles {
+			tileTime[t] = times[i]
+		}
+	}
+
+	if e.trace != nil {
+		start := e.dev.Stats().TotalCycles()
+		defer func(start int64) {
+			e.trace.record(cs.Name, start, e.dev.Stats().TotalCycles(), len(cs.vertices))
+		}(start)
+	}
+	if e.profile != nil {
+		p := e.profile[cs.Name]
+		if p == nil {
+			p = &CSProfile{Name: cs.Name}
+			e.profile[cs.Name] = p
+		}
+		p.Executions++
+		var max int64
+		for _, t := range tileTime {
+			if t > max {
+				max = t
+			}
+		}
+		p.ComputeCycles += max
+		p.Vertices += int64(len(cs.vertices))
+	}
+	e.dev.Superstep(tileTime, cs.exchIn, cs.exchOut, cs.crossBytes, int64(len(cs.vertices)))
+	return e.checkBudget()
+}

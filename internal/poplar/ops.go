@@ -1,0 +1,202 @@
+package poplar
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ReduceOp selects the combining operator of a reduction.
+type ReduceOp int
+
+// Supported reduction operators.
+const (
+	ReduceMin ReduceOp = iota
+	ReduceMax
+	ReduceSum
+)
+
+func (op ReduceOp) identity() float64 {
+	switch op {
+	case ReduceMin:
+		return math.Inf(1)
+	case ReduceMax:
+		return math.Inf(-1)
+	default:
+		return 0
+	}
+}
+
+func (op ReduceOp) combine(a, b float64) float64 {
+	switch op {
+	case ReduceMin:
+		return math.Min(a, b)
+	case ReduceMax:
+		return math.Max(a, b)
+	default:
+		return a + b
+	}
+}
+
+// MappingRegions returns the tensor's mapping sorted by start offset.
+// Ops that need compile-time placement (reductions, row sorts) call
+// this, so tensors must be fully mapped before ops are built — the
+// same "mapping first" discipline Poplar imposes.
+func (t *Tensor) MappingRegions() []Region {
+	sort.Slice(t.mapping, func(i, j int) bool { return t.mapping[i].Start < t.mapping[j].Start })
+	return t.mapping
+}
+
+// Reduce builds the two-phase tree reduction Poplar's popops provides:
+// each tile reduces its resident regions of src into a partial, then a
+// single vertex on dst's tile combines the partials. dst must be a
+// mapped scalar tensor.
+func Reduce(g *Graph, src, dst *Tensor, op ReduceOp, name string) Program {
+	if dst.NumElements() != 1 {
+		panic(fmt.Sprintf("poplar: Reduce destination %q must be scalar", dst.Name))
+	}
+	regions := src.MappingRegions()
+	partials := g.AddVariable(name+"/partials", src.DType, len(regions))
+	for k, r := range regions {
+		g.SetTileMapping(partials, r.Tile, k, k+1)
+	}
+
+	phase1 := g.AddComputeSet(name + "/partial")
+	for k, r := range regions {
+		k, r := k, r
+		in := src.Slice(r.Start, r.End)
+		out := partials.Index(k)
+		phase1.AddVertex(r.Tile, func(w *Worker) {
+			acc := op.identity()
+			for _, v := range in.Data() {
+				acc = op.combine(acc, v)
+			}
+			out.Data()[0] = acc
+			w.ChargeVec(int64(in.Len()))
+		}).Reads(in).Writes(out)
+	}
+
+	// Final stage on the destination tile. With many partials the
+	// gather is split over the tile's worker threads (one chunk per
+	// thread, then a six-way combine), so the barrel scheduler is not
+	// stuck behind a single serial vertex.
+	dstTile := dst.MappingRegions()[0].Tile
+	threads := g.cfg.ThreadsPerTile
+	outRef := dst.All()
+	if len(regions) <= 2*threads {
+		phase2 := g.AddComputeSet(name + "/final")
+		all := partials.All()
+		phase2.AddVertex(dstTile, func(w *Worker) {
+			acc := op.identity()
+			for _, v := range all.Data() {
+				acc = op.combine(acc, v)
+			}
+			outRef.Data()[0] = acc
+			w.Charge(int64(all.Len()))
+		}).Reads(all).Writes(outRef)
+		return Sequence(Execute(phase1), Execute(phase2))
+	}
+
+	scratch := g.AddVariable(name+"/scratch", src.DType, threads)
+	g.MapAllTo(scratch, dstTile)
+	phase2 := g.AddComputeSet(name + "/chunks")
+	chunk := (len(regions) + threads - 1) / threads
+	for t := 0; t < threads; t++ {
+		lo := t * chunk
+		hi := lo + chunk
+		if hi > len(regions) {
+			hi = len(regions)
+		}
+		out := scratch.Index(t)
+		if lo >= hi {
+			phase2.AddVertex(dstTile, func(w *Worker) {
+				out.Data()[0] = op.identity()
+				w.Charge(1)
+			}).Writes(out)
+			continue
+		}
+		in := partials.Slice(lo, hi)
+		phase2.AddVertex(dstTile, func(w *Worker) {
+			acc := op.identity()
+			for _, v := range in.Data() {
+				acc = op.combine(acc, v)
+			}
+			out.Data()[0] = acc
+			w.ChargeVec(int64(in.Len()))
+		}).Reads(in).Writes(out)
+	}
+	phase3 := g.AddComputeSet(name + "/final")
+	scr := scratch.All()
+	phase3.AddVertex(dstTile, func(w *Worker) {
+		acc := op.identity()
+		for _, v := range scr.Data() {
+			acc = op.combine(acc, v)
+		}
+		outRef.Data()[0] = acc
+		w.Charge(int64(scr.Len()))
+	}).Reads(scr).Writes(outRef)
+
+	return Sequence(Execute(phase1), Execute(phase2), Execute(phase3))
+}
+
+// ReduceRows builds a per-row reduction of a 2D tensor into dst (length
+// = rows). Each row's vertex runs on the tile owning the row, so with
+// the paper's 1D row decomposition no exchange is needed and dst must
+// be mapped row-aligned with src for the writes to stay local.
+func ReduceRows(g *Graph, src, dst *Tensor, op ReduceOp, name string) Program {
+	rows, cols := src.Rows(), src.Cols()
+	if dst.NumElements() != rows {
+		panic(fmt.Sprintf("poplar: ReduceRows destination %q has %d elements, want %d",
+			dst.Name, dst.NumElements(), rows))
+	}
+	src.MappingRegions()
+	cs := g.AddComputeSet(name + "/rows")
+	for i := 0; i < rows; i++ {
+		in := src.RowRef(i)
+		out := dst.Index(i)
+		cs.AddVertex(src.TileOf(i*cols), func(w *Worker) {
+			acc := op.identity()
+			for _, v := range in.Data() {
+				acc = op.combine(acc, v)
+			}
+			out.Data()[0] = acc
+			w.ChargeVec(int64(in.Len()))
+		}).Reads(in).Writes(out)
+	}
+	return Execute(cs)
+}
+
+// SortRowsDesc builds Poplar's sort over each row of a 2D tensor,
+// in descending order, in place (used by HunIPU's Step 2 to sort the
+// compress matrix). One vertex per row on the row's tile.
+func SortRowsDesc(g *Graph, t *Tensor, name string) Program {
+	rows, cols := t.Rows(), t.Cols()
+	t.MappingRegions()
+	cs := g.AddComputeSet(name + "/sort")
+	for i := 0; i < rows; i++ {
+		row := t.RowRef(i)
+		cs.AddVertex(t.TileOf(i*cols), func(w *Worker) {
+			d := row.Data()
+			sort.Sort(sort.Reverse(sort.Float64Slice(d)))
+			w.ChargeSort(int64(len(d)))
+		}).Reads(row).Writes(row)
+	}
+	return Execute(cs)
+}
+
+// Fill builds a compute set writing the constant v into every element
+// of t, one vertex per resident region (no exchange).
+func Fill(g *Graph, t *Tensor, v float64, name string) Program {
+	cs := g.AddComputeSet(name + "/fill")
+	for _, r := range t.MappingRegions() {
+		ref := t.Slice(r.Start, r.End)
+		cs.AddVertex(r.Tile, func(w *Worker) {
+			d := ref.Data()
+			for i := range d {
+				d[i] = v
+			}
+			w.ChargeVec(int64(len(d)))
+		}).Writes(ref)
+	}
+	return Execute(cs)
+}
