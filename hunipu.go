@@ -22,6 +22,7 @@ package hunipu
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"hunipu/internal/core"
@@ -105,8 +106,9 @@ type Result struct {
 }
 
 // Solve computes an optimal assignment of rows to columns for the
-// cost matrix. All entries must be finite; integer-valued matrices are
-// solved exactly on every device.
+// cost matrix. All entries must be finite — NaN and ±Inf inputs are
+// rejected with an error — and integer-valued matrices are solved
+// exactly on every device.
 //
 // Rectangular matrices are supported: with more columns than rows the
 // surplus columns stay unmatched; with more rows than columns the
@@ -191,6 +193,14 @@ func squareMatrix(costs [][]float64, maximize bool) (m *lsap.Matrix, rows, cols 
 	for i, r := range costs {
 		if len(r) != cols {
 			return nil, 0, 0, fmt.Errorf("hunipu: row %d has %d entries, want %d (ragged matrix)", i, len(r), cols)
+		}
+		for j, v := range r {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, 0, 0, fmt.Errorf("hunipu: cost[%d][%d] = %g, all entries must be finite", i, j, v)
+			}
+			if v >= lsap.Forbidden {
+				return nil, 0, 0, fmt.Errorf("hunipu: cost[%d][%d] = %g is reserved for forbidden edges", i, j, v)
+			}
 		}
 	}
 	maxV := 0.0

@@ -53,6 +53,9 @@ func TestCSVEscaping(t *testing.T) {
 }
 
 func TestTable1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Table I generation in -short mode")
+	}
 	tab, err := newHarness(t).Table1()
 	if err != nil {
 		t.Fatal(err)
@@ -116,6 +119,9 @@ func TestFig5SkipsNonPow2AndReportsBothSolvers(t *testing.T) {
 }
 
 func TestTable3RunsAllDatasets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Table III harness run in -short mode")
+	}
 	tab, err := newHarness(t).Table3()
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,245 @@
+package conformance
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"hunipu/internal/cpuhung"
+)
+
+// Config parameterises a conformance run.
+type Config struct {
+	// Sizes are the instance sizes to generate; the defaults mix
+	// powers of two with off-by-one neighbours, FastHA's padding
+	// boundary being a classic divergence site.
+	Sizes []int
+	// Trials is the number of instances per (family, size) cell.
+	Trials int
+	// Seed makes the whole run reproducible.
+	Seed int64
+	// Tol is the cost-comparison and certificate tolerance; zero
+	// means 1e-9.
+	Tol float64
+}
+
+// DefaultConfig is the full cross-check grid.
+func DefaultConfig() Config {
+	return Config{
+		Sizes:  []int{1, 2, 3, 4, 5, 7, 8, 9, 16, 17},
+		Trials: 2,
+		Seed:   1,
+	}
+}
+
+// ShortConfig is the -short grid: same families and solvers, fewer and
+// smaller instances.
+func ShortConfig() Config {
+	return Config{
+		Sizes:  []int{1, 2, 3, 5, 8, 9},
+		Trials: 1,
+		Seed:   1,
+	}
+}
+
+// Divergence is one observed disagreement or failure, with everything
+// needed to reproduce it.
+type Divergence struct {
+	Solver string
+	Family string
+	N      int
+	Seed   int64
+	Detail string
+}
+
+func (d Divergence) String() string {
+	return fmt.Sprintf("%s on %s n=%d seed=%d: %s", d.Solver, d.Family, d.N, d.Seed, d.Detail)
+}
+
+// Cell aggregates one solver × family pair.
+type Cell struct {
+	Solves      int
+	Certified   int
+	Divergences int
+}
+
+// Report is the outcome of a conformance run.
+type Report struct {
+	Solvers     []string
+	Families    []string
+	Cells       map[string]*Cell // key: solver + "/" + family
+	Divergences []Divergence
+}
+
+func (r *Report) cell(solver, family string) *Cell {
+	key := solver + "/" + family
+	c := r.Cells[key]
+	if c == nil {
+		c = &Cell{}
+		r.Cells[key] = c
+	}
+	return c
+}
+
+// Table renders the per-solver divergence table: one row per solver,
+// one column per family, each cell "certified/solves" with a trailing
+// "!" when the cell saw divergences.
+func (r *Report) Table() string {
+	var b strings.Builder
+	w := 0
+	for _, s := range r.Solvers {
+		if len(s) > w {
+			w = len(s)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", w, "solver")
+	for _, f := range r.Families {
+		fmt.Fprintf(&b, "  %12s", f)
+	}
+	b.WriteByte('\n')
+	for _, s := range r.Solvers {
+		fmt.Fprintf(&b, "%-*s", w, s)
+		for _, f := range r.Families {
+			c := r.Cells[s+"/"+f]
+			cell := "-"
+			if c != nil {
+				cell = fmt.Sprintf("%d/%d", c.Certified, c.Solves)
+				if c.Divergences > 0 {
+					cell += "!"
+				}
+			}
+			fmt.Fprintf(&b, "  %12s", cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Run cross-checks every registered solver on every generator family:
+// each result must carry or earn a dual certificate and agree with the
+// certified reference cost. Solver checks run concurrently (one
+// goroutine per registry entry), which doubles as the -race exercise
+// for the solvers' internal state.
+func Run(cfg Config) (*Report, error) {
+	if len(cfg.Sizes) == 0 {
+		cfg = DefaultConfig()
+	}
+	if cfg.Trials <= 0 {
+		cfg.Trials = 1
+	}
+	tol := cfg.Tol
+	if tol == 0 {
+		tol = 1e-9
+	}
+
+	families := Families()
+	instances := Instances(families, cfg.Sizes, cfg.Trials, cfg.Seed)
+
+	// Reference pass: certify the JV optimum for every instance once;
+	// the certified cost is the cross-check target.
+	ct := NewCertifier()
+	ct.Tol = tol
+	refCost := make([]float64, len(instances))
+	ref := cpuhung.JV{}
+	for i, inst := range instances {
+		sol, err := ref.Solve(inst.Matrix)
+		if err != nil {
+			return nil, fmt.Errorf("conformance: reference solve %s n=%d seed=%d: %w",
+				inst.Family, inst.N, inst.Seed, err)
+		}
+		if err := ct.Certify(inst.Matrix, sol); err != nil {
+			return nil, fmt.Errorf("conformance: reference certificate %s n=%d seed=%d: %w",
+				inst.Family, inst.N, inst.Seed, err)
+		}
+		refCost[i] = sol.Cost
+	}
+
+	entries := Registry()
+	report := &Report{Cells: map[string]*Cell{}}
+	for _, e := range entries {
+		report.Solvers = append(report.Solvers, e.Name)
+	}
+	for _, f := range families {
+		report.Families = append(report.Families, f.Name)
+	}
+
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	record := func(e Entry, inst Instance, certified bool, detail string) {
+		mu.Lock()
+		defer mu.Unlock()
+		c := report.cell(e.Name, inst.Family)
+		c.Solves++
+		if certified {
+			c.Certified++
+		}
+		if detail != "" {
+			c.Divergences++
+			report.Divergences = append(report.Divergences, Divergence{
+				Solver: e.Name, Family: inst.Family, N: inst.N, Seed: inst.Seed, Detail: detail,
+			})
+		}
+	}
+
+	for _, e := range entries {
+		wg.Add(1)
+		go func(e Entry) {
+			defer wg.Done()
+			s, err := e.New()
+			if err != nil {
+				mu.Lock()
+				report.Divergences = append(report.Divergences, Divergence{
+					Solver: e.Name, Detail: fmt.Sprintf("constructor failed: %v", err),
+				})
+				mu.Unlock()
+				return
+			}
+			for i, inst := range instances {
+				if e.MaxN > 0 && inst.N > e.MaxN {
+					continue
+				}
+				// Solvers get a private copy; mutating the shared input
+				// would corrupt the other goroutines' cross-check.
+				input := inst.Matrix.Clone()
+				sol, err := s.Solve(input)
+				if err != nil {
+					record(e, inst, false, fmt.Sprintf("solve failed: %v", err))
+					continue
+				}
+				for k, v := range input.Data {
+					if v != inst.Matrix.Data[k] {
+						record(e, inst, false, "solver mutated its input matrix")
+						break
+					}
+				}
+				if err := ct.Certify(inst.Matrix, sol); err != nil {
+					record(e, inst, false, fmt.Sprintf("certificate failed: %v", err))
+					continue
+				}
+				want := refCost[i]
+				if math.Abs(sol.Cost-want) > tol*(1+math.Abs(want)) {
+					record(e, inst, true, fmt.Sprintf("optimal cost %g, reference %g", sol.Cost, want))
+					continue
+				}
+				record(e, inst, true, "")
+			}
+		}(e)
+	}
+	wg.Wait()
+
+	sort.Slice(report.Divergences, func(i, j int) bool {
+		a, b := report.Divergences[i], report.Divergences[j]
+		if a.Solver != b.Solver {
+			return a.Solver < b.Solver
+		}
+		if a.Family != b.Family {
+			return a.Family < b.Family
+		}
+		return a.Seed < b.Seed
+	})
+	return report, nil
+}

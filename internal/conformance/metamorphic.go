@@ -1,0 +1,162 @@
+package conformance
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hunipu/internal/lsap"
+)
+
+// Property is one metamorphic relation: a transformation of the cost
+// matrix together with the exact mapping it induces on the optimal
+// cost. Asserting the relation needs no oracle at all — only the base
+// instance's (already certified) optimal cost.
+type Property struct {
+	Name string
+	// Derive builds the transformed instance and the optimal cost it
+	// must have, given the base instance and its optimal cost.
+	Derive func(c *lsap.Matrix, baseCost float64, rng *rand.Rand) (*lsap.Matrix, float64)
+}
+
+// Properties returns the metamorphic relations every solver must
+// satisfy. All transformations preserve integrality, so the expected
+// costs are exact.
+func Properties() []Property {
+	return []Property{
+		{Name: "row-permutation", Derive: deriveRowPerm},
+		{Name: "col-permutation", Derive: deriveColPerm},
+		{Name: "transpose", Derive: deriveTranspose},
+		{Name: "row-shift", Derive: deriveRowShift},
+		{Name: "scale", Derive: deriveScale},
+		{Name: "minmax-duality", Derive: deriveMinMaxDuality},
+		{Name: "pad-dummy", Derive: derivePadDummy},
+	}
+}
+
+// deriveRowPerm: permuting rows permutes the matching but leaves the
+// optimal cost unchanged.
+func deriveRowPerm(c *lsap.Matrix, baseCost float64, rng *rand.Rand) (*lsap.Matrix, float64) {
+	perm := rng.Perm(c.N)
+	out := lsap.NewMatrix(c.N)
+	for i, pi := range perm {
+		copy(out.Row(i), c.Row(pi))
+	}
+	return out, baseCost
+}
+
+// deriveColPerm: permuting columns leaves the optimal cost unchanged.
+func deriveColPerm(c *lsap.Matrix, baseCost float64, rng *rand.Rand) (*lsap.Matrix, float64) {
+	perm := rng.Perm(c.N)
+	out := lsap.NewMatrix(c.N)
+	for i := 0; i < c.N; i++ {
+		for j, pj := range perm {
+			out.Set(i, j, c.At(i, pj))
+		}
+	}
+	return out, baseCost
+}
+
+// deriveTranspose: the assignment problem is symmetric in rows and
+// columns, so C and Cᵀ have the same optimal cost.
+func deriveTranspose(c *lsap.Matrix, baseCost float64, rng *rand.Rand) (*lsap.Matrix, float64) {
+	out := lsap.NewMatrix(c.N)
+	for i := 0; i < c.N; i++ {
+		for j := 0; j < c.N; j++ {
+			out.Set(j, i, c.At(i, j))
+		}
+	}
+	return out, baseCost
+}
+
+// deriveRowShift: adding δ to every entry of one row shifts every
+// matching's cost by exactly δ (each row contributes exactly one edge).
+func deriveRowShift(c *lsap.Matrix, baseCost float64, rng *rand.Rand) (*lsap.Matrix, float64) {
+	if c.N == 0 {
+		return c.Clone(), baseCost
+	}
+	delta := float64(1 + rng.Intn(7))
+	row := rng.Intn(c.N)
+	out := c.Clone()
+	for j := 0; j < c.N; j++ {
+		out.Set(row, j, out.At(row, j)+delta)
+	}
+	return out, baseCost + delta
+}
+
+// deriveScale: multiplying every entry by a positive integer s scales
+// every matching's cost — and therefore the optimum — by s.
+func deriveScale(c *lsap.Matrix, baseCost float64, rng *rand.Rand) (*lsap.Matrix, float64) {
+	s := float64(2 + rng.Intn(3))
+	out := c.Clone()
+	for i := range out.Data {
+		out.Data[i] *= s
+	}
+	return out, baseCost * s
+}
+
+// deriveMinMaxDuality: Negate maps minimisation to maximisation
+// (v → max−v). Applying it twice yields C − min(C), so the optimal cost
+// must drop by exactly n·min(C). A solver that mishandles either
+// direction of the min↔max conversion breaks the identity.
+func deriveMinMaxDuality(c *lsap.Matrix, baseCost float64, rng *rand.Rand) (*lsap.Matrix, float64) {
+	minV := math.Inf(1)
+	for _, v := range c.Data {
+		if v < minV {
+			minV = v
+		}
+	}
+	if math.IsInf(minV, 1) {
+		minV = 0
+	}
+	return c.Negate().Negate(), baseCost - float64(c.N)*minV
+}
+
+// derivePadDummy: padding k dummy rows and columns at max+1 forces the
+// optimum to match dummies to dummies (any real↔dummy pairing can be
+// swapped into real↔real + dummy↔dummy without increasing cost, and
+// pad > every real entry makes the swap strictly improving), so the
+// optimal cost grows by exactly k·(max+1).
+func derivePadDummy(c *lsap.Matrix, baseCost float64, rng *rand.Rand) (*lsap.Matrix, float64) {
+	maxV := 0.0
+	for _, v := range c.Data {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	k := 1 + rng.Intn(2)
+	pad := maxV + 1
+	return c.PadTo(c.N+k, pad), baseCost + float64(k)*pad
+}
+
+// CheckProperty solves the derived instance with s and asserts the
+// metamorphic cost relation, then certifies the derived result with ct
+// — so a solver cannot pass by returning a cost that happens to match
+// while its matching is invalid.
+func CheckProperty(s lsap.Solver, p Property, c *lsap.Matrix, baseCost float64, ct *Certifier, rng *rand.Rand) error {
+	derived, want, err := deriveChecked(p, c, baseCost, rng)
+	if err != nil {
+		return err
+	}
+	sol, err := s.Solve(derived)
+	if err != nil {
+		return fmt.Errorf("%s on %s-derived instance: %w", s.Name(), p.Name, err)
+	}
+	if err := ct.Certify(derived, sol); err != nil {
+		return fmt.Errorf("%s on %s-derived instance: %w", s.Name(), p.Name, err)
+	}
+	if math.Abs(sol.Cost-want) > ct.tol()*(1+math.Abs(want)) {
+		return fmt.Errorf("%s violates %s: derived optimal cost %g, relation requires %g",
+			s.Name(), p.Name, sol.Cost, want)
+	}
+	return nil
+}
+
+// deriveChecked wraps Derive and re-checks the expected cost is finite.
+func deriveChecked(p Property, c *lsap.Matrix, baseCost float64, rng *rand.Rand) (*lsap.Matrix, float64, error) {
+	derived, want := p.Derive(c, baseCost, rng)
+	if math.IsNaN(want) || math.IsInf(want, 0) {
+		return nil, 0, fmt.Errorf("conformance: property %s derived non-finite expected cost %g", p.Name, want)
+	}
+	return derived, want, nil
+}

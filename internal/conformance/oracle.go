@@ -1,0 +1,100 @@
+package conformance
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"hunipu/internal/cpuhung"
+	"hunipu/internal/lsap"
+)
+
+// Certifier proves solver results optimal from LP duals. Solvers that
+// maintain their own potentials are checked by complementary slackness
+// (lsap.VerifyOptimal); for the rest the certifier borrows duals from
+// the certifying JV reference and applies the weak-duality bound
+// (lsap.VerifyOptimalWithBound). The borrowed duals are themselves
+// verified feasible against the cost matrix, so a wrong reference
+// matching can never certify a wrong result — at worst certification
+// fails and the divergence is reported.
+//
+// A Certifier is safe for concurrent use; borrowed duals are cached per
+// matrix so one reference solve certifies every solver on an instance.
+type Certifier struct {
+	// Tol is the certificate tolerance; zero means 1e-9 (integer
+	// workloads are exact, the slack absorbs only float bookkeeping).
+	Tol float64
+
+	mu    sync.Mutex
+	duals map[*lsap.Matrix]*lsap.Potentials
+}
+
+// NewCertifier returns a ready certifier.
+func NewCertifier() *Certifier {
+	return &Certifier{duals: map[*lsap.Matrix]*lsap.Potentials{}}
+}
+
+func (ct *Certifier) tol() float64 {
+	if ct.Tol != 0 {
+		return ct.Tol
+	}
+	return 1e-9
+}
+
+// dualsFor returns feasible potentials for c, computing and caching
+// them on first use.
+func (ct *Certifier) dualsFor(c *lsap.Matrix) (*lsap.Potentials, error) {
+	ct.mu.Lock()
+	p := ct.duals[c]
+	ct.mu.Unlock()
+	if p != nil {
+		return p, nil
+	}
+	ref, err := (cpuhung.JV{}).Solve(c)
+	if err != nil {
+		return nil, fmt.Errorf("conformance: reference dual solve failed: %w", err)
+	}
+	if ref.Potentials == nil {
+		return nil, fmt.Errorf("conformance: reference solver returned no potentials")
+	}
+	if err := lsap.VerifyFeasiblePotentials(c, *ref.Potentials, ct.tol()); err != nil {
+		return nil, fmt.Errorf("conformance: reference duals not feasible: %w", err)
+	}
+	ct.mu.Lock()
+	ct.duals[c] = ref.Potentials
+	ct.mu.Unlock()
+	return ref.Potentials, nil
+}
+
+// Certify proves sol is an optimal solution of c. It checks, in order:
+// the assignment is a perfect matching; the reported cost matches the
+// assignment's cost under c; and an optimality certificate — the
+// solver's own potentials when present, the borrowed weak-duality bound
+// otherwise.
+func (ct *Certifier) Certify(c *lsap.Matrix, sol *lsap.Solution) error {
+	if sol == nil {
+		return fmt.Errorf("conformance: nil solution")
+	}
+	tol := ct.tol()
+	if err := sol.Assignment.Validate(c.N); err != nil {
+		return err
+	}
+	actual := sol.Assignment.Cost(c)
+	if math.Abs(actual-sol.Cost) > tol*(1+math.Abs(actual)) {
+		return fmt.Errorf("conformance: reported cost %g, assignment costs %g", sol.Cost, actual)
+	}
+	if sol.Potentials != nil {
+		if err := lsap.VerifyOptimal(c, sol.Assignment, *sol.Potentials, tol); err != nil {
+			return fmt.Errorf("conformance: own-certificate check failed: %w", err)
+		}
+		return nil
+	}
+	p, err := ct.dualsFor(c)
+	if err != nil {
+		return err
+	}
+	if err := lsap.VerifyOptimalWithBound(c, sol.Assignment, *p, tol); err != nil {
+		return fmt.Errorf("conformance: dual-bound certificate failed: %w", err)
+	}
+	return nil
+}

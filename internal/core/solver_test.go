@@ -40,6 +40,21 @@ func randomIntMatrix(rng *rand.Rand, n, hi int) *lsap.Matrix {
 	return m
 }
 
+// certifyOptimal proves sol is optimal for m from LP duals: HunIPU does
+// not maintain potentials, so feasible duals are borrowed from JV and
+// the weak-duality bound certifies sol's matching independently of
+// JV's own (possibly tie-differing) matching.
+func certifyOptimal(t *testing.T, m *lsap.Matrix, sol *lsap.Solution) {
+	t.Helper()
+	ref, err := (cpuhung.JV{}).Solve(m)
+	if err != nil {
+		t.Fatalf("reference dual solve: %v", err)
+	}
+	if err := lsap.VerifyOptimalWithBound(m, sol.Assignment, *ref.Potentials, 1e-9); err != nil {
+		t.Fatalf("optimality certificate failed: %v", err)
+	}
+}
+
 func TestSolveTiny(t *testing.T) {
 	m, _ := lsap.FromRows([][]float64{
 		{4, 1, 3},
@@ -96,6 +111,7 @@ func TestSolveMatchesBruteForce(t *testing.T) {
 		if got.Cost != want.Cost {
 			t.Fatalf("trial %d n=%d: cost = %g, want %g", trial, n, got.Cost, want.Cost)
 		}
+		certifyOptimal(t, m, got)
 	}
 }
 
@@ -118,6 +134,14 @@ func TestSolveMatchesJVMedium(t *testing.T) {
 			}
 			if got.Cost != want.Cost {
 				t.Fatalf("n=%d hi=%d: cost = %g, want %g", n, hi, got.Cost, want.Cost)
+			}
+			// Certificate, not just cost agreement: JV's duals are tight
+			// and feasible, so they bound-certify HunIPU's matching too.
+			if err := lsap.VerifyOptimal(m, want.Assignment, *want.Potentials, 1e-9); err != nil {
+				t.Fatalf("n=%d hi=%d: reference certificate: %v", n, hi, err)
+			}
+			if err := lsap.VerifyOptimalWithBound(m, got.Assignment, *want.Potentials, 1e-9); err != nil {
+				t.Fatalf("n=%d hi=%d: HunIPU certificate: %v", n, hi, err)
 			}
 		}
 	}

@@ -120,6 +120,9 @@ func TestTableI(t *testing.T) {
 }
 
 func TestRealGraphMatchesTableI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size dataset generation in -short mode")
+	}
 	for _, d := range AllRealDatasets {
 		ch, _ := TableI(d)
 		g, err := RealGraph(d, 42)
@@ -156,6 +159,9 @@ func TestRealGraphDeterministic(t *testing.T) {
 }
 
 func TestBiologicalDegreesHeavyTailed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size dataset generation in -short mode")
+	}
 	// Preferential attachment should produce a higher max degree than a
 	// proximity network of similar density.
 	bio, err := RealGraph(MultiMagna, 4)

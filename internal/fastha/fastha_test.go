@@ -81,6 +81,25 @@ func TestSolveMatchesBruteForce(t *testing.T) {
 		if got.Cost != want.Cost {
 			t.Fatalf("trial %d n=%d: cost %g, want %g", trial, n, got.Cost, want.Cost)
 		}
+		certifyOptimal(t, m, got)
+	}
+}
+
+// certifyOptimal proves sol optimal for m from LP duals: FastHA keeps
+// no potentials, so feasible duals are borrowed from JV and the
+// weak-duality bound certifies sol's matching even when ties make it
+// differ from JV's.
+func certifyOptimal(t *testing.T, m *lsap.Matrix, sol *lsap.Solution) {
+	t.Helper()
+	ref, err := (cpuhung.JV{}).Solve(m)
+	if err != nil {
+		t.Fatalf("reference dual solve: %v", err)
+	}
+	if err := lsap.VerifyOptimal(m, ref.Assignment, *ref.Potentials, 1e-9); err != nil {
+		t.Fatalf("reference certificate: %v", err)
+	}
+	if err := lsap.VerifyOptimalWithBound(m, sol.Assignment, *ref.Potentials, 1e-9); err != nil {
+		t.Fatalf("optimality certificate failed: %v", err)
 	}
 }
 
@@ -103,6 +122,7 @@ func TestSolveMatchesJVMedium(t *testing.T) {
 		if got.Cost != want.Cost {
 			t.Fatalf("n=%d: cost %g, want %g", n, got.Cost, want.Cost)
 		}
+		certifyOptimal(t, m, got)
 	}
 }
 
@@ -125,6 +145,7 @@ func TestSolvePaddedMatchesJV(t *testing.T) {
 		if got.Solution.Cost != want.Cost {
 			t.Fatalf("n=%d: cost %g, want %g", n, got.Solution.Cost, want.Cost)
 		}
+		certifyOptimal(t, m, got.Solution)
 	}
 }
 

@@ -1,0 +1,105 @@
+package lsap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDualObjectiveMatchesOptimalCost(t *testing.T) {
+	// For an optimal primal/dual pair, strong duality holds: Σu+Σv equals
+	// the optimal cost exactly (integer data, exact arithmetic).
+	p := Potentials{U: []float64{1, 2}, V: []float64{3, -1}}
+	if got := p.DualObjective(); got != 5 {
+		t.Fatalf("DualObjective = %g, want 5", got)
+	}
+}
+
+func TestVerifyFeasiblePotentials(t *testing.T) {
+	m, _ := FromRows([][]float64{
+		{4, 1},
+		{2, 8},
+	})
+	ok := Potentials{U: []float64{1, 2}, V: []float64{0, 0}}
+	if err := VerifyFeasiblePotentials(m, ok, 1e-12); err != nil {
+		t.Fatalf("feasible potentials rejected: %v", err)
+	}
+	bad := Potentials{U: []float64{2, 2}, V: []float64{0, 0}}
+	if err := VerifyFeasiblePotentials(m, bad, 1e-12); err == nil {
+		t.Fatal("infeasible potentials accepted (u[0]+v[1] = 2 > C[0][1] = 1)")
+	}
+	short := Potentials{U: []float64{1}, V: []float64{0, 0}}
+	if err := VerifyFeasiblePotentials(m, short, 1e-12); err == nil {
+		t.Fatal("wrong-length potentials accepted")
+	}
+}
+
+func TestVerifyOptimalWithBoundAcceptsTiedOptimum(t *testing.T) {
+	// Constant matrix: every matching is optimal. Duals from one optimal
+	// solve must certify a *different* optimal matching, where the
+	// tightness check of VerifyOptimal could not be relied upon in
+	// general for borrowed duals.
+	m, _ := FromRows([][]float64{
+		{7, 7},
+		{7, 7},
+	})
+	p := Potentials{U: []float64{7, 7}, V: []float64{0, 0}}
+	for _, a := range []Assignment{{0, 1}, {1, 0}} {
+		if err := VerifyOptimalWithBound(m, a, p, 1e-12); err != nil {
+			t.Fatalf("optimal matching %v rejected: %v", a, err)
+		}
+	}
+}
+
+func TestVerifyOptimalWithBoundRejectsSuboptimal(t *testing.T) {
+	m, _ := FromRows([][]float64{
+		{4, 1},
+		{2, 8},
+	})
+	// Optimal is {1,0} with cost 3; duals u={1,2}, v={0,0} are feasible
+	// with objective 3.
+	p := Potentials{U: []float64{1, 2}, V: []float64{0, 0}}
+	if err := VerifyOptimalWithBound(m, Assignment{1, 0}, p, 1e-12); err != nil {
+		t.Fatalf("optimal matching rejected: %v", err)
+	}
+	if err := VerifyOptimalWithBound(m, Assignment{0, 1}, p, 1e-12); err == nil {
+		t.Fatal("suboptimal matching {0,1} (cost 12) accepted against bound 3")
+	}
+	if err := VerifyOptimalWithBound(m, Assignment{0, 0}, p, 1e-12); err == nil {
+		t.Fatal("non-matching accepted")
+	}
+}
+
+func TestVerifyOptimalWithBoundRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(6)
+		m := NewMatrix(n)
+		for i := range m.Data {
+			m.Data[i] = float64(1 + rng.Intn(40))
+		}
+		want, err := (BruteForce{}).Solve(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Trivially feasible duals: u[i] = row minimum, v = 0. The bound
+		// only certifies when it is tight, so instead check soundness:
+		// the brute-force optimum never violates the bound.
+		p := Potentials{U: make([]float64, n), V: make([]float64, n)}
+		for i := 0; i < n; i++ {
+			min := m.At(i, 0)
+			for j := 1; j < n; j++ {
+				if m.At(i, j) < min {
+					min = m.At(i, j)
+				}
+			}
+			p.U[i] = min
+		}
+		if err := VerifyFeasiblePotentials(m, p, 0); err != nil {
+			t.Fatalf("trial %d: row-min duals infeasible: %v", trial, err)
+		}
+		if want.Cost < p.DualObjective() {
+			t.Fatalf("trial %d: optimal cost %g below feasible dual bound %g",
+				trial, want.Cost, p.DualObjective())
+		}
+	}
+}

@@ -78,15 +78,26 @@ type Potentials struct {
 	V []float64
 }
 
-// VerifyOptimal checks the complementary-slackness certificate: the
-// potentials are feasible for every edge and tight on every matched
-// edge, within tol. A nil error proves a is a minimum-cost perfect
-// matching without needing an oracle.
-func VerifyOptimal(c *Matrix, a Assignment, p Potentials, tol float64) error {
-	n := c.N
-	if err := a.Validate(n); err != nil {
-		return err
+// DualObjective is the value Σu + Σv of the dual solution. By LP weak
+// duality it lower-bounds the cost of every perfect matching whenever
+// the potentials are feasible (see VerifyFeasiblePotentials).
+func (p Potentials) DualObjective() float64 {
+	var sum float64
+	for _, u := range p.U {
+		sum += u
 	}
+	for _, v := range p.V {
+		sum += v
+	}
+	return sum
+}
+
+// VerifyFeasiblePotentials checks u[i]+v[j] ≤ C[i][j] + tol on every
+// non-forbidden edge. Feasible potentials make DualObjective a certified
+// lower bound on the cost of any perfect matching of c, regardless of
+// where the potentials came from.
+func VerifyFeasiblePotentials(c *Matrix, p Potentials, tol float64) error {
+	n := c.N
 	if len(p.U) != n || len(p.V) != n {
 		return fmt.Errorf("lsap: potentials have %d/%d entries, want %d", len(p.U), len(p.V), n)
 	}
@@ -102,12 +113,50 @@ func VerifyOptimal(c *Matrix, a Assignment, p Potentials, tol float64) error {
 			}
 		}
 	}
+	return nil
+}
+
+// VerifyOptimal checks the complementary-slackness certificate: the
+// potentials are feasible for every edge and tight on every matched
+// edge, within tol. A nil error proves a is a minimum-cost perfect
+// matching without needing an oracle.
+func VerifyOptimal(c *Matrix, a Assignment, p Potentials, tol float64) error {
+	n := c.N
+	if err := a.Validate(n); err != nil {
+		return err
+	}
+	if err := VerifyFeasiblePotentials(c, p, tol); err != nil {
+		return err
+	}
 	for i, j := range a {
 		cij := c.At(i, j)
 		if math.Abs(p.U[i]+p.V[j]-cij) > tol {
 			return fmt.Errorf("lsap: matched edge (%d,%d) not tight: u+v = %g, C = %g",
 				i, j, p.U[i]+p.V[j], cij)
 		}
+	}
+	return nil
+}
+
+// VerifyOptimalWithBound proves a is optimal using *borrowed* duals:
+// the potentials may come from any solver (they need not be tight on
+// a's edges, so ties between distinct optimal matchings are fine). It
+// checks that a is a perfect matching, that the potentials are feasible
+// — making Σu+Σv a sound lower bound by weak duality — and that a's
+// cost meets that bound within tol·(1+|bound|). A nil error proves
+// optimality of a even if the solver that produced the potentials
+// returned a wrong matching.
+func VerifyOptimalWithBound(c *Matrix, a Assignment, p Potentials, tol float64) error {
+	if err := a.Validate(c.N); err != nil {
+		return err
+	}
+	if err := VerifyFeasiblePotentials(c, p, tol); err != nil {
+		return err
+	}
+	bound := p.DualObjective()
+	cost := a.Cost(c)
+	if cost > bound+tol*(1+math.Abs(bound)) {
+		return fmt.Errorf("lsap: matching cost %g exceeds certified lower bound %g", cost, bound)
 	}
 	return nil
 }
