@@ -21,6 +21,7 @@
 package hunipu
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -28,6 +29,7 @@ import (
 	"hunipu/internal/core"
 	"hunipu/internal/cpuhung"
 	"hunipu/internal/fastha"
+	"hunipu/internal/faultinject"
 	"hunipu/internal/graphalign"
 	"hunipu/internal/lsap"
 )
@@ -64,6 +66,13 @@ type config struct {
 	maximize bool
 	ipuOpts  core.Options
 	gpuOpts  fastha.Options
+
+	// Reliability knobs; see reliability.go.
+	fallback []Device
+	fault    *faultinject.Schedule
+	faultErr error
+	retries  int
+	backoff  time.Duration
 }
 
 // Option configures a Solve or Align call.
@@ -103,6 +112,9 @@ type Result struct {
 	Modeled time.Duration
 	// Wall is the real time the call took end to end.
 	Wall time.Duration
+	// Report describes fault recovery and device fallback during the
+	// solve; see the Report type in reliability.go.
+	Report *Report
 }
 
 // Solve computes an optimal assignment of rows to columns for the
@@ -115,68 +127,33 @@ type Result struct {
 // cheapest-to-drop rows are left unassigned (−1 in the result), which
 // is the standard rectangular-LSAP semantics.
 func Solve(costs [][]float64, opts ...Option) (*Result, error) {
-	var c config
-	for _, o := range opts {
-		o(&c)
+	return SolveContext(context.Background(), costs, opts...)
+}
+
+// validateFinite rejects ragged inputs and entries no solver can
+// process: NaN, ±Inf, and values at or above the lsap.Forbidden
+// sentinel. Every public entry point shares this check so that a
+// matrix accepted by Solve is also accepted by SolveKBest and
+// SolveBottleneck, and vice versa.
+func validateFinite(costs [][]float64) error {
+	if len(costs) == 0 {
+		return nil
 	}
-	m, rowsN, colsN, err := squareMatrix(costs, c.maximize)
-	if err != nil {
-		return nil, err
+	cols := len(costs[0])
+	for i, r := range costs {
+		if len(r) != cols {
+			return fmt.Errorf("hunipu: row %d has %d entries, want %d (ragged matrix)", i, len(r), cols)
+		}
+		for j, v := range r {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("hunipu: cost[%d][%d] = %g, all entries must be finite", i, j, v)
+			}
+			if v >= lsap.Forbidden {
+				return fmt.Errorf("hunipu: cost[%d][%d] = %g is reserved for forbidden edges", i, j, v)
+			}
+		}
 	}
-	start := time.Now()
-	var (
-		sol     *lsap.Solution
-		modeled time.Duration
-	)
-	switch c.device {
-	case DeviceIPU:
-		s, err := core.New(c.ipuOpts)
-		if err != nil {
-			return nil, err
-		}
-		r, err := s.SolveDetailed(m)
-		if err != nil {
-			return nil, err
-		}
-		sol, modeled = r.Solution, r.Modeled
-	case DeviceGPU:
-		s, err := fastha.New(c.gpuOpts)
-		if err != nil {
-			return nil, err
-		}
-		r, err := s.SolvePadded(m)
-		if err != nil {
-			return nil, err
-		}
-		sol, modeled = r.Solution, r.Modeled
-	case DeviceCPU:
-		sol, err = (cpuhung.JV{}).Solve(m)
-		if err != nil {
-			return nil, err
-		}
-	default:
-		return nil, fmt.Errorf("hunipu: unknown device %v", c.device)
-	}
-	// Trim padding: dummy rows are dropped, matches into dummy columns
-	// become −1, and the reported cost covers real pairs only.
-	a := make([]int, rowsN)
-	var cost float64
-	for i := 0; i < rowsN; i++ {
-		j := sol.Assignment[i]
-		if j >= colsN {
-			j = -1
-		} else {
-			cost += costs[i][j]
-		}
-		a[i] = j
-	}
-	return &Result{
-		Assignment: a,
-		Cost:       cost,
-		Device:     c.device,
-		Modeled:    modeled,
-		Wall:       time.Since(start),
-	}, nil
+	return nil
 }
 
 // squareMatrix validates the input, applies max→min conversion to the
@@ -190,18 +167,8 @@ func squareMatrix(costs [][]float64, maximize bool) (m *lsap.Matrix, rows, cols 
 		return lsap.NewMatrix(0), 0, 0, nil
 	}
 	cols = len(costs[0])
-	for i, r := range costs {
-		if len(r) != cols {
-			return nil, 0, 0, fmt.Errorf("hunipu: row %d has %d entries, want %d (ragged matrix)", i, len(r), cols)
-		}
-		for j, v := range r {
-			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return nil, 0, 0, fmt.Errorf("hunipu: cost[%d][%d] = %g, all entries must be finite", i, j, v)
-			}
-			if v >= lsap.Forbidden {
-				return nil, 0, 0, fmt.Errorf("hunipu: cost[%d][%d] = %g is reserved for forbidden edges", i, j, v)
-			}
-		}
+	if err := validateFinite(costs); err != nil {
+		return nil, 0, 0, err
 	}
 	maxV := 0.0
 	if maximize {
@@ -295,6 +262,9 @@ func rows(m *lsap.Matrix) [][]float64 {
 // the enumeration always runs on the CPU JV solver regardless of
 // device options; the matrix must be square.
 func SolveKBest(costs [][]float64, k int) ([]*Result, error) {
+	if err := validateFinite(costs); err != nil {
+		return nil, err
+	}
 	m, err := lsap.FromRows(costs)
 	if err != nil {
 		return nil, err
@@ -321,6 +291,9 @@ func SolveKBest(costs [][]float64, k int) ([]*Result, error) {
 // matching (the bottleneck assignment problem) instead of the sum.
 // Result.Cost is the bottleneck value. The matrix must be square.
 func SolveBottleneck(costs [][]float64) (*Result, error) {
+	if err := validateFinite(costs); err != nil {
+		return nil, err
+	}
 	m, err := lsap.FromRows(costs)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,132 @@
+package conformance
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"hunipu/internal/core"
+	"hunipu/internal/cpuhung"
+	"hunipu/internal/fastha"
+	"hunipu/internal/faultinject"
+	"hunipu/internal/lsap"
+)
+
+// cancelAt is a benign injector that never faults but cancels the
+// context once the device clock passes a threshold — a deterministic
+// way to land a cancellation mid-solve on the simulated devices.
+type cancelAt struct {
+	cancel context.CancelFunc
+	at     int64
+}
+
+func (c cancelAt) Check(p faultinject.Point) *faultinject.FaultError {
+	if p.Kind == faultinject.KindSuperstep && p.Superstep >= c.at {
+		c.cancel()
+	}
+	return nil
+}
+
+// checkNoLeak asserts the goroutine count settles back to the
+// baseline; a cancelled solve must not strand workers or timers.
+func checkNoLeak(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak after cancelled solve: %d before, %d after",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestCancelMidSolveIPU(t *testing.T) {
+	before := runtime.NumGoroutine()
+	m := genUniform(rand.New(rand.NewSource(11)), 16)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s, err := core.New(core.Options{
+		Config: smallIPU(),
+		Fault:  cancelAt{cancel: cancel, at: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.SolveContext(ctx, m)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	checkNoLeak(t, before)
+}
+
+func TestCancelMidSolveGPU(t *testing.T) {
+	before := runtime.NumGoroutine()
+	m := genUniform(rand.New(rand.NewSource(12)), 16)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s, err := fastha.New(fastha.Options{Fault: cancelAt{cancel: cancel, at: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.SolveContext(ctx, m)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	checkNoLeak(t, before)
+}
+
+func TestCancelMidSolveCPU(t *testing.T) {
+	before := runtime.NumGoroutine()
+	// The native solver has no injection hook, so cancellation lands on
+	// the wall clock; grow the instance until the cancel wins the race.
+	for _, n := range []int{300, 600, 1200} {
+		m := genUniform(rand.New(rand.NewSource(13)), n)
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(time.Millisecond)
+			cancel()
+		}()
+		_, err := cpuhung.JV{}.SolveContext(ctx, m)
+		cancel()
+		if errors.Is(err, context.Canceled) {
+			checkNoLeak(t, before)
+			return
+		}
+		if err != nil {
+			t.Fatalf("n=%d: err = %v, want context.Canceled or clean finish", n, err)
+		}
+	}
+	t.Fatal("solver finished before cancellation on every instance size")
+}
+
+func TestDeadlineExpiredAllDevices(t *testing.T) {
+	before := runtime.NumGoroutine()
+	m := genUniform(rand.New(rand.NewSource(14)), 16)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+
+	solvers := []lsap.ContextSolver{cpuhung.JV{}}
+	if s, err := core.New(core.Options{Config: smallIPU()}); err == nil {
+		solvers = append(solvers, s)
+	} else {
+		t.Fatal(err)
+	}
+	if s, err := fastha.New(fastha.Options{}); err == nil {
+		solvers = append(solvers, s)
+	} else {
+		t.Fatal(err)
+	}
+	for _, s := range solvers {
+		if _, err := s.SolveContext(ctx, m); !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("%s: err = %v, want context.DeadlineExceeded", s.Name(), err)
+		}
+	}
+	checkNoLeak(t, before)
+}

@@ -1,0 +1,75 @@
+package conformance
+
+import (
+	"os"
+	"strconv"
+	"testing"
+)
+
+// chaosSeed honours CHAOS_SEED so CI can sweep a seed matrix and a
+// failing schedule can be replayed locally with the same seed.
+func chaosSeed(t *testing.T) int64 {
+	t.Helper()
+	v := os.Getenv("CHAOS_SEED")
+	if v == "" {
+		return 1
+	}
+	seed, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		t.Fatalf("CHAOS_SEED=%q: %v", v, err)
+	}
+	return seed
+}
+
+// TestChaosInvariant is the robustness acceptance gate: ≥50 random
+// fault schedules per chaos-capable solver, and every single run must
+// end in a certified optimum or a typed error — never a silently
+// wrong answer.
+func TestChaosInvariant(t *testing.T) {
+	cfg := DefaultChaosConfig()
+	cfg.Seed = chaosSeed(t)
+	if testing.Short() {
+		cfg.Schedules = 50
+		cfg.Sizes = []int{8}
+	}
+	if cfg.Schedules < 50 {
+		t.Fatalf("config sweeps %d schedules, acceptance floor is 50", cfg.Schedules)
+	}
+	rep, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("invariant violated: %s", v)
+	}
+	t.Logf("chaos seed=%d: %d runs, %d clean, %d survived, %d typed errors",
+		cfg.Seed, rep.Runs, rep.Clean, rep.Survived, rep.TypedError)
+	// A sweep where no schedule ever fires, or where no run survives a
+	// fired fault, means the generator or the recovery path is dead.
+	if rep.Survived == 0 {
+		t.Error("no run survived an injected fault: recovery path never exercised")
+	}
+	if rep.TypedError == 0 {
+		t.Error("no run failed: fault injection never exercised a fatal path")
+	}
+}
+
+// TestChaosDeterministic: the same seed must replay the exact same
+// sweep, or CHAOS_SEED reproducers are worthless.
+func TestChaosDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos replay is covered by the full run")
+	}
+	cfg := ChaosConfig{Schedules: 50, Sizes: []int{8}, Retries: 2, Seed: 42}
+	a, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Runs != b.Runs || a.Clean != b.Clean || a.Survived != b.Survived || a.TypedError != b.TypedError {
+		t.Fatalf("same seed, different sweeps: %+v vs %+v", a, b)
+	}
+}

@@ -19,7 +19,9 @@ package core
 import (
 	"fmt"
 	"io"
+	"time"
 
+	"hunipu/internal/faultinject"
 	"hunipu/internal/ipu"
 )
 
@@ -80,6 +82,27 @@ type Options struct {
 	// workloads); set ~1e-9·maxCost for float data such as raw GRAMPA
 	// similarities.
 	Epsilon float64
+
+	// Fault installs a deterministic fault injector on the simulated
+	// device (see internal/faultinject). Injected transient faults are
+	// survived via checkpoint-resume when MaxRetries allows; fatal
+	// faults surface as typed *faultinject.FaultError.
+	Fault faultinject.Injector
+
+	// MaxRetries bounds transient-fault recovery: how many times one
+	// solve may resume from its last checkpoint (and how many times a
+	// stalled host transfer is retried). 0 disables recovery.
+	MaxRetries int
+
+	// CheckpointEvery is the checkpoint cadence in program steps
+	// (compute sets and copies). 0 means automatic: no checkpoints
+	// unless Fault or MaxRetries make recovery active, then
+	// poplar.DefaultCheckpointEvery.
+	CheckpointEvery int64
+
+	// RetryBackoff is the initial wait before a retry, doubling per
+	// attempt. 0 retries immediately.
+	RetryBackoff time.Duration
 }
 
 // withDefaults resolves zero values.
@@ -107,6 +130,15 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.Epsilon < 0 {
 		return o, fmt.Errorf("core: Epsilon = %g, want ≥ 0", o.Epsilon)
+	}
+	if o.MaxRetries < 0 {
+		return o, fmt.Errorf("core: MaxRetries = %d, want ≥ 0", o.MaxRetries)
+	}
+	if o.CheckpointEvery < 0 {
+		return o, fmt.Errorf("core: CheckpointEvery = %d, want ≥ 0", o.CheckpointEvery)
+	}
+	if o.RetryBackoff < 0 {
+		return o, fmt.Errorf("core: RetryBackoff = %v, want ≥ 0", o.RetryBackoff)
 	}
 	return o, nil
 }

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
 	"time"
 
+	"hunipu/internal/faultinject"
 	"hunipu/internal/ipu"
 	"hunipu/internal/lsap"
 	"hunipu/internal/poplar"
@@ -76,6 +78,9 @@ type Result struct {
 	// Profile is the per-compute-set breakdown (nil unless
 	// Options.Profile is set), sorted by descending compute cycles.
 	Profile []poplar.CSProfile
+	// Recovery reports what the fault-recovery machinery did during the
+	// solve: transient faults survived, checkpoints saved and restored.
+	Recovery poplar.RunReport
 }
 
 // Solve implements lsap.Solver.
@@ -87,8 +92,23 @@ func (s *Solver) Solve(c *lsap.Matrix) (*lsap.Solution, error) {
 	return r.Solution, nil
 }
 
+// SolveContext implements lsap.ContextSolver: the solve is checked for
+// cancellation and deadline expiry at every BSP superstep.
+func (s *Solver) SolveContext(ctx context.Context, c *lsap.Matrix) (*lsap.Solution, error) {
+	r, err := s.SolveDetailedContext(ctx, c)
+	if err != nil {
+		return nil, err
+	}
+	return r.Solution, nil
+}
+
 // SolveDetailed solves the LSAP and reports the modeled IPU profile.
 func (s *Solver) SolveDetailed(c *lsap.Matrix) (*Result, error) {
+	return s.SolveDetailedContext(context.Background(), c)
+}
+
+// SolveDetailedContext is SolveDetailed with cancellation support.
+func (s *Solver) SolveDetailedContext(ctx context.Context, c *lsap.Matrix) (*Result, error) {
 	n := c.N
 	if n == 0 {
 		return &Result{Solution: &lsap.Solution{Assignment: lsap.Assignment{}}}, nil
@@ -114,7 +134,17 @@ func (s *Solver) SolveDetailed(c *lsap.Matrix) (*Result, error) {
 			s.mu.Unlock()
 			return nil, err
 		}
-		engOpts := []poplar.EngineOption{}
+		// The injector goes in before NewEngine so tile-memory faults
+		// can fire during graph compilation's allocations.
+		if s.opts.Fault != nil {
+			dev.SetInjector(s.opts.Fault)
+		}
+		engOpts := []poplar.EngineOption{
+			poplar.WithRetry(s.opts.MaxRetries, s.opts.RetryBackoff),
+		}
+		if s.opts.CheckpointEvery > 0 {
+			engOpts = append(engOpts, poplar.WithCheckpointEvery(s.opts.CheckpointEvery))
+		}
 		if s.opts.Parallelism != 0 {
 			engOpts = append(engOpts, poplar.WithParallelism(s.opts.Parallelism))
 		}
@@ -138,11 +168,23 @@ func (s *Solver) SolveDetailed(c *lsap.Matrix) (*Result, error) {
 	compileTime := time.Since(compileStart)
 	b, eng, dev := cc.b, cc.eng, cc.dev
 
-	b.slack.HostWrite(c.Data)
+	eng.ResetReport()
+	// The clock reset precedes the host write so injection-schedule
+	// superstep coordinates are relative to the solve, every solve.
 	dev.ResetClock()
-	if err := eng.Run(); err != nil {
+	if err := eng.HostWrite(b.slack, c.Data); err != nil {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("core: input transfer failed: %w", err)
+	}
+	if err := eng.RunContext(ctx); err != nil {
 		s.cache[n] = nil // state may be inconsistent after a failure
 		s.mu.Unlock()
+		if fe, ok := faultinject.AsFault(err); ok {
+			return nil, fe
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return nil, fmt.Errorf("core: execution failed: %w", err)
 	}
 	defer s.mu.Unlock()
@@ -150,7 +192,10 @@ func (s *Solver) SolveDetailed(c *lsap.Matrix) (*Result, error) {
 		return nil, fmt.Errorf("core: internal invariant violated during path augmentation")
 	}
 
-	stars := b.rowStar.HostRead()
+	stars, err := eng.HostRead(b.rowStar)
+	if err != nil {
+		return nil, fmt.Errorf("core: result transfer failed: %w", err)
+	}
 	a := make(lsap.Assignment, n)
 	for i, v := range stars {
 		a[i] = int(v)
@@ -169,6 +214,7 @@ func (s *Solver) SolveDetailed(c *lsap.Matrix) (*Result, error) {
 		Modeled:      dev.ModeledTime(),
 		MaxTileBytes: dev.MaxAllocated(),
 		CompileHost:  compileTime,
+		Recovery:     eng.Report(),
 	}
 	if s.opts.Profile {
 		res.Profile = eng.Profile()

@@ -10,6 +10,7 @@
 package cpuhung
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -26,7 +27,14 @@ func (JV) Name() string { return "CPU-JV" }
 
 // Solve implements lsap.Solver. Forbidden edges are treated as +Inf;
 // if the optimal matching would need one, ErrInfeasible is returned.
-func (JV) Solve(c *lsap.Matrix) (*lsap.Solution, error) {
+func (s JV) Solve(c *lsap.Matrix) (*lsap.Solution, error) {
+	return s.SolveContext(context.Background(), c)
+}
+
+// SolveContext implements lsap.ContextSolver: cancellation and deadline
+// expiry are checked once per augmenting-path step, so a cancelled
+// solve stops within O(n) work.
+func (JV) SolveContext(ctx context.Context, c *lsap.Matrix) (*lsap.Solution, error) {
 	n := c.N
 	if n == 0 {
 		return &lsap.Solution{Assignment: lsap.Assignment{}, Potentials: &lsap.Potentials{}}, nil
@@ -57,6 +65,11 @@ func (JV) Solve(c *lsap.Matrix) (*lsap.Solution, error) {
 			used[j] = false
 		}
 		for {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			default:
+			}
 			used[j0] = true
 			i0 := p[j0]
 			delta := inf

@@ -1,6 +1,7 @@
 package fastha
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -41,7 +42,10 @@ func (d *driver) launch(name string, items int, k gpu.Kernel) error {
 	return err
 }
 
-func (d *driver) run(maxIter int64) error {
+func (d *driver) run(ctx context.Context, maxIter int64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if err := d.step1Reduce(); err != nil {
 		return err
 	}
@@ -50,6 +54,9 @@ func (d *driver) run(maxIter int64) error {
 	}
 	var iter int64
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		done, err := d.step3CoverColumns()
 		if err != nil {
 			return err
@@ -58,6 +65,9 @@ func (d *driver) run(maxIter int64) error {
 			return nil
 		}
 		for {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if iter++; iter > maxIter {
 				return fmt.Errorf("fastha: exceeded %d iterations; non-terminating solve?", maxIter)
 			}

@@ -20,10 +20,12 @@
 package fastha
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
 
+	"hunipu/internal/faultinject"
 	"hunipu/internal/gpu"
 	"hunipu/internal/lsap"
 )
@@ -38,6 +40,11 @@ type Options struct {
 	// MaxIterations bounds the outer loop as a runaway backstop.
 	// 0 means 50·n² per solve.
 	MaxIterations int64
+	// Fault installs a deterministic fault injector on the simulated
+	// GPU; injected faults surface as typed *faultinject.FaultError
+	// (FastHA is host-driven with mutable global state, so it has no
+	// checkpoint recovery — callers degrade to another device instead).
+	Fault faultinject.Injector
 }
 
 // Solver is the FastHA GPU baseline. It implements lsap.Solver.
@@ -82,6 +89,16 @@ func (s *Solver) Solve(c *lsap.Matrix) (*lsap.Solution, error) {
 	return r.Solution, nil
 }
 
+// SolveContext implements lsap.ContextSolver: cancellation is checked
+// between kernel launches, where the host driver sits anyway.
+func (s *Solver) SolveContext(ctx context.Context, c *lsap.Matrix) (*lsap.Solution, error) {
+	r, err := s.SolveDetailedContext(ctx, c)
+	if err != nil {
+		return nil, err
+	}
+	return r.Solution, nil
+}
+
 // SolvePadded pads an arbitrary-size matrix to the next power of two
 // (the published FastHA's size restriction), solves, and returns the
 // assignment truncated to the original rows. The paper pads the
@@ -92,9 +109,14 @@ func (s *Solver) Solve(c *lsap.Matrix) (*lsap.Solution, error) {
 // padding rows exclusively to padding columns, and its restriction to
 // the real block is an optimum of the original problem.
 func (s *Solver) SolvePadded(c *lsap.Matrix) (*Result, error) {
+	return s.SolvePaddedContext(context.Background(), c)
+}
+
+// SolvePaddedContext is SolvePadded with cancellation support.
+func (s *Solver) SolvePaddedContext(ctx context.Context, c *lsap.Matrix) (*Result, error) {
 	n := c.N
 	if n == lsap.NextPow2(n) {
-		return s.SolveDetailed(c)
+		return s.SolveDetailedContext(ctx, c)
 	}
 	pad := 1.0
 	for _, v := range c.Data {
@@ -103,7 +125,7 @@ func (s *Solver) SolvePadded(c *lsap.Matrix) (*Result, error) {
 		}
 	}
 	padded := c.PadToPow2(pad)
-	r, err := s.SolveDetailed(padded)
+	r, err := s.SolveDetailedContext(ctx, padded)
 	if err != nil {
 		return nil, err
 	}
@@ -135,6 +157,11 @@ type state struct {
 
 // SolveDetailed solves the LSAP and reports the modeled GPU profile.
 func (s *Solver) SolveDetailed(c *lsap.Matrix) (*Result, error) {
+	return s.SolveDetailedContext(context.Background(), c)
+}
+
+// SolveDetailedContext is SolveDetailed with cancellation support.
+func (s *Solver) SolveDetailedContext(ctx context.Context, c *lsap.Matrix) (*Result, error) {
 	n := c.N
 	if n == 0 {
 		return &Result{Solution: &lsap.Solution{Assignment: lsap.Assignment{}}}, nil
@@ -150,6 +177,9 @@ func (s *Solver) SolveDetailed(c *lsap.Matrix) (*Result, error) {
 	dev, err := gpu.NewDevice(s.opts.Config)
 	if err != nil {
 		return nil, err
+	}
+	if s.opts.Fault != nil {
+		dev.SetInjector(s.opts.Fault)
 	}
 	st := &state{
 		n:        n,
@@ -170,7 +200,10 @@ func (s *Solver) SolveDetailed(c *lsap.Matrix) (*Result, error) {
 	if maxIter == 0 {
 		maxIter = 50 * int64(n) * int64(n)
 	}
-	if err := d.run(maxIter); err != nil {
+	if err := d.run(ctx, maxIter); err != nil {
+		if fe, ok := faultinject.AsFault(err); ok {
+			return nil, fe
+		}
 		return nil, err
 	}
 

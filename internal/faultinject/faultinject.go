@@ -1,0 +1,161 @@
+// Package faultinject provides deterministic, replayable fault
+// injection for the simulated accelerators. Real IPU deployments treat
+// transient device faults — a corrupted exchange payload caught by the
+// fabric CRC, tile-memory pressure from runtime buffers, a wedged host
+// transfer, a hard device reset — as routine events; this package lets
+// the repository *provoke* exactly those failures on demand so the
+// recovery machinery (superstep checkpointing, bounded retry, device
+// fallback) can be exercised and its invariants enforced.
+//
+// Faults are described by a Schedule: a seed plus a list of rules, each
+// binding a fault Class to predicates over the execution point at which
+// it fires (superstep number, phase name, periodicity, probability).
+// Schedules are replayable: the same spec string produces the same
+// faults at the same points, every run. Probabilistic rules derive
+// their coin flips from a hash of (seed, rule, superstep, phase), never
+// from a global RNG, so concurrency cannot change the outcome.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Class is a category of injected device fault.
+type Class int
+
+// The modeled fault classes.
+const (
+	// ExchangeCorruption is a corrupted exchange payload detected on
+	// receive (fabric CRC mismatch). Transient: the superstep's data is
+	// discarded and the solve can resume from the last checkpoint.
+	ExchangeCorruption Class = iota
+	// TileMemoryPressure is a runtime tile-SRAM overflow (C2 violated
+	// at execution time, e.g. by exchange buffers). Fatal for the
+	// device: the graph cannot continue; callers should fall back.
+	TileMemoryPressure
+	// DeviceReset is a hard device reset: all tile memory is lost and
+	// the engine's state is gone. Fatal; callers should fall back.
+	DeviceReset
+	// HostTransferStall is a stalled or timed-out host↔device transfer.
+	// Transient: the transfer can simply be retried.
+	HostTransferStall
+
+	numClasses
+)
+
+// String implements fmt.Stringer using the spec-grammar keywords.
+func (c Class) String() string {
+	switch c {
+	case ExchangeCorruption:
+		return "exchange"
+	case TileMemoryPressure:
+		return "memory"
+	case DeviceReset:
+		return "reset"
+	case HostTransferStall:
+		return "stall"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Transient reports whether faults of this class are retryable: the
+// device survives and execution can resume from a checkpoint. Fatal
+// classes require a new device (or a fallback to another one).
+func (c Class) Transient() bool {
+	return c == ExchangeCorruption || c == HostTransferStall
+}
+
+// Kind identifies the kind of execution point a fault check guards.
+type Kind int
+
+// The instrumented point kinds.
+const (
+	// KindSuperstep guards one BSP superstep (a compute set or an
+	// exchange-only copy) about to execute.
+	KindSuperstep Kind = iota
+	// KindHostWrite guards a host→device input transfer.
+	KindHostWrite
+	// KindHostRead guards a device→host result transfer.
+	KindHostRead
+	// KindAlloc guards a tile-memory allocation (graph compilation).
+	KindAlloc
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindSuperstep:
+		return "superstep"
+	case KindHostWrite:
+		return "host-write"
+	case KindHostRead:
+		return "host-read"
+	case KindAlloc:
+		return "alloc"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Point is one instrumented execution point: the device asks its
+// injector whether a fault fires here.
+type Point struct {
+	// Superstep is the device's completed-superstep count (for host and
+	// alloc points, the count at the time of the transfer/allocation).
+	Superstep int64
+	// Phase names the execution phase: the compute-set name for
+	// supersteps, "copy:<tensor>" for exchange copies, "host:write" /
+	// "host:read" for transfers, "alloc" for allocations.
+	Phase string
+	// Kind is the point kind.
+	Kind Kind
+}
+
+// FaultError is the typed error every injected fault surfaces as.
+// Callers classify it with errors.As and Transient; the conformance
+// chaos invariant requires that every faulted run ends in either a
+// certified-optimal solution or an error matchable to this type.
+type FaultError struct {
+	// Class is the injected fault class.
+	Class Class
+	// Point is where the fault fired.
+	Point Point
+	// Rule is the index of the schedule rule that fired (-1 when the
+	// fault came from a non-Schedule injector).
+	Rule int
+}
+
+// Error implements error.
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("faultinject: %s fault at %s superstep %d (phase %q)",
+		e.Class, e.Point.Kind, e.Point.Superstep, e.Point.Phase)
+}
+
+// Transient reports whether the fault is retryable (see Class.Transient).
+func (e *FaultError) Transient() bool { return e.Class.Transient() }
+
+// AsFault unwraps err to its injected fault, if any.
+func AsFault(err error) (*FaultError, bool) {
+	var fe *FaultError
+	if errors.As(err, &fe) {
+		return fe, true
+	}
+	return nil, false
+}
+
+// IsTransient reports whether err is (or wraps) a transient injected
+// fault — the retry-from-checkpoint eligibility test.
+func IsTransient(err error) bool {
+	fe, ok := AsFault(err)
+	return ok && fe.Transient()
+}
+
+// Injector decides, at each instrumented execution point, whether a
+// fault fires. Implementations must be safe for concurrent use and
+// deterministic given the same sequence of points.
+type Injector interface {
+	// Check returns the fault to inject at p, or nil.
+	Check(p Point) *FaultError
+}

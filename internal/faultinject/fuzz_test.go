@@ -1,0 +1,70 @@
+package faultinject
+
+import "testing"
+
+// FuzzParseSchedule checks that ParseSchedule never panics, and that
+// every accepted spec round-trips: String() re-renders to a spec that
+// parses to the identical schedule, and a replayed schedule fires at
+// exactly the same points.
+func FuzzParseSchedule(f *testing.F) {
+	seeds := []string{
+		"",
+		"seed=42",
+		"exchange",
+		"memory",
+		"reset",
+		"stall",
+		"seed=7; exchange every=40 p=0.5; reset at=900 phase=s6_*",
+		"stall at=3 times=2; memory after=100",
+		"exchange phase=copy:* p=0.25 times=-1",
+		"exchange at=x",
+		"exchange p=2",
+		"bogus at=1",
+		"exchange phase=[",
+		"seed=1; seed=2",
+		"exchange at=1 at=2",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		s, err := ParseSchedule(spec)
+		if err != nil {
+			return
+		}
+		canon := s.String()
+		s2, err := ParseSchedule(canon)
+		if err != nil {
+			t.Fatalf("canonical spec %q (from %q) does not re-parse: %v", canon, spec, err)
+		}
+		if s2.String() != canon {
+			t.Fatalf("String not idempotent: %q -> %q", canon, s2.String())
+		}
+		if s2.Seed != s.Seed || len(s2.Rules) != len(s.Rules) {
+			t.Fatalf("round trip changed schedule: %q vs %q", spec, canon)
+		}
+		for ri := range s.Rules {
+			if s.Rules[ri] != s2.Rules[ri] {
+				t.Fatalf("round trip changed rule %d: %+v vs %+v", ri, s.Rules[ri], s2.Rules[ri])
+			}
+		}
+		// Replay determinism over a small point grid.
+		points := []Point{
+			{Superstep: 0, Phase: "s1_row_min", Kind: KindSuperstep},
+			{Superstep: 3, Phase: "copy:slack", Kind: KindSuperstep},
+			{Superstep: 5, Phase: "host:write", Kind: KindHostWrite},
+			{Superstep: 8, Phase: "host:read", Kind: KindHostRead},
+			{Superstep: 9, Phase: "alloc", Kind: KindAlloc},
+			{Superstep: 12, Phase: "s6_augment", Kind: KindSuperstep},
+		}
+		for _, p := range points {
+			a, b := s.Check(p), s2.Check(p)
+			if (a == nil) != (b == nil) {
+				t.Fatalf("replay diverged at %+v: %v vs %v", p, a, b)
+			}
+			if a != nil && (a.Class != b.Class || a.Rule != b.Rule) {
+				t.Fatalf("replay fired differently at %+v: %+v vs %+v", p, a, b)
+			}
+		}
+	})
+}

@@ -1,0 +1,57 @@
+package gpu
+
+import (
+	"errors"
+	"testing"
+
+	"hunipu/internal/faultinject"
+)
+
+func TestLaunchInjection(t *testing.T) {
+	d, err := NewDevice(A100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := faultinject.ParseSchedule("reset at=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetInjector(sched)
+	noop := func(t *Thread) {}
+	for k := 0; k < 5; k++ {
+		_, err := d.Launch("step", 1, 32, noop)
+		if k == 2 {
+			var fe *faultinject.FaultError
+			if !errors.As(err, &fe) || fe.Class != faultinject.DeviceReset {
+				t.Fatalf("launch %d: err = %v, want DeviceReset fault", k, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("launch %d: %v", k, err)
+		}
+	}
+	// A faulted launch must not advance the kernel clock.
+	if got := d.Stats().Kernels; got != 4 {
+		t.Fatalf("Kernels = %d, want 4", got)
+	}
+}
+
+func TestLaunchStallAppliesToHostKinds(t *testing.T) {
+	d, err := NewDevice(A100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := faultinject.ParseSchedule("stall times=-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetInjector(sched)
+	// Stall rules guard host transfers, not kernel launches.
+	if _, err := d.Launch("step", 1, 32, func(t *Thread) {}); err != nil {
+		t.Fatalf("stall rule fired on a kernel launch: %v", err)
+	}
+	if fe := d.CheckFault("host:read", faultinject.KindHostRead); fe == nil {
+		t.Fatal("stall rule did not fire on a host read")
+	}
+}

@@ -25,6 +25,8 @@ package gpu
 import (
 	"fmt"
 	"time"
+
+	"hunipu/internal/faultinject"
 )
 
 // Config describes the simulated GPU.
@@ -122,8 +124,9 @@ type Stats struct {
 
 // Device is a simulated GPU: it prices kernel launches.
 type Device struct {
-	cfg   Config
-	stats Stats
+	cfg      Config
+	stats    Stats
+	injector faultinject.Injector
 }
 
 // NewDevice creates a device.
@@ -142,6 +145,24 @@ func (d *Device) Stats() Stats { return d.stats }
 
 // ResetClock zeroes the counters (used to exclude setup from timings).
 func (d *Device) ResetClock() { d.stats = Stats{} }
+
+// SetInjector installs a fault injector consulted before every kernel
+// launch; the launch count plays the role of the superstep clock. Pass
+// nil to disable injection.
+func (d *Device) SetInjector(inj faultinject.Injector) { d.injector = inj }
+
+// CheckFault asks the injector whether a fault fires at the current
+// point, using the completed-kernel count as the superstep coordinate.
+func (d *Device) CheckFault(phase string, kind faultinject.Kind) *faultinject.FaultError {
+	if d.injector == nil {
+		return nil
+	}
+	return d.injector.Check(faultinject.Point{
+		Superstep: d.stats.Kernels,
+		Phase:     phase,
+		Kind:      kind,
+	})
+}
 
 // HostSync charges one blocking device-to-host readback: the cost a
 // host driver pays to inspect a device scalar before deciding the next
@@ -243,6 +264,9 @@ func (d *Device) Launch(name string, blocks, threadsPerBlock int, k Kernel) (int
 	if threadsPerBlock > d.cfg.MaxThreadsPerBlock {
 		return 0, fmt.Errorf("gpu: launch %q block size %d exceeds max %d",
 			name, threadsPerBlock, d.cfg.MaxThreadsPerBlock)
+	}
+	if fe := d.CheckFault(name, faultinject.KindSuperstep); fe != nil {
+		return 0, fe
 	}
 	cfg := d.cfg
 	warpsPerBlock := (threadsPerBlock + cfg.WarpSize - 1) / cfg.WarpSize

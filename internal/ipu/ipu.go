@@ -24,6 +24,8 @@ package ipu
 import (
 	"fmt"
 	"time"
+
+	"hunipu/internal/faultinject"
 )
 
 // Config describes the simulated device.
@@ -115,6 +117,16 @@ func (c Config) Validate() error {
 		return fmt.Errorf("ipu: ClockHz = %g, want > 0", c.ClockHz)
 	case c.ExchangeBytesPerCycle <= 0:
 		return fmt.Errorf("ipu: ExchangeBytesPerCycle = %g, want > 0", c.ExchangeBytesPerCycle)
+	case c.IPUs > 1 && c.InterIPUBytesPerCycle <= 0:
+		// A zero IPU-Link bandwidth would silently price cross-chip
+		// traffic at +Inf cycles in Superstep.
+		return fmt.Errorf("ipu: InterIPUBytesPerCycle = %g with %d IPUs, want > 0", c.InterIPUBytesPerCycle, c.IPUs)
+	case c.SyncCycles < 0:
+		return fmt.Errorf("ipu: SyncCycles = %d, want ≥ 0", c.SyncCycles)
+	case c.ExchangeLatencyCycles < 0:
+		return fmt.Errorf("ipu: ExchangeLatencyCycles = %d, want ≥ 0", c.ExchangeLatencyCycles)
+	case c.VertexOverheadCycles < 0:
+		return fmt.Errorf("ipu: VertexOverheadCycles = %d, want ≥ 0", c.VertexOverheadCycles)
 	}
 	return nil
 }
@@ -147,6 +159,7 @@ type Device struct {
 	cfg       Config
 	allocated []int64 // bytes allocated per tile
 	stats     Stats
+	injector  faultinject.Injector
 }
 
 // NewDevice creates a device for the configuration.
@@ -167,6 +180,29 @@ func (d *Device) Stats() Stats { return d.stats }
 // to exclude graph-construction or host-transfer phases from timings.
 func (d *Device) ResetClock() { d.stats = Stats{} }
 
+// SetInjector installs a fault injector consulted at every superstep,
+// host transfer, and allocation. Pass nil to disable injection.
+func (d *Device) SetInjector(inj faultinject.Injector) { d.injector = inj }
+
+// Injector returns the installed fault injector (nil when none).
+func (d *Device) Injector() faultinject.Injector { return d.injector }
+
+// CheckFault asks the injector whether a fault fires at the current
+// point in execution. The superstep coordinate is the device's
+// completed-superstep count, which is monotone within a run — retries
+// after a checkpoint restore keep the clock moving, so one-shot rules
+// do not refire on the replayed prefix. Returns nil without an injector.
+func (d *Device) CheckFault(phase string, kind faultinject.Kind) *faultinject.FaultError {
+	if d.injector == nil {
+		return nil
+	}
+	return d.injector.Check(faultinject.Point{
+		Superstep: d.stats.Supersteps,
+		Phase:     phase,
+		Kind:      kind,
+	})
+}
+
 // ModeledTime converts the accumulated cycles to simulated wall time.
 func (d *Device) ModeledTime() time.Duration {
 	sec := float64(d.stats.TotalCycles()) / d.cfg.ClockHz
@@ -185,6 +221,9 @@ func (d *Device) Alloc(tile int, n int64) error {
 	if d.allocated[tile]+n > int64(d.cfg.TileMemory) {
 		return fmt.Errorf("ipu: tile %d memory exceeded: %d + %d > %d bytes",
 			tile, d.allocated[tile], n, d.cfg.TileMemory)
+	}
+	if fe := d.CheckFault("alloc", faultinject.KindAlloc); fe != nil {
+		return fe
 	}
 	d.allocated[tile] += n
 	return nil

@@ -29,12 +29,30 @@ func TestConfigValidate(t *testing.T) {
 		func(c *Config) { c.TileMemory = 0 },
 		func(c *Config) { c.ClockHz = 0 },
 		func(c *Config) { c.ExchangeBytesPerCycle = 0 },
+		func(c *Config) { c.IPUs = 2; c.InterIPUBytesPerCycle = 0 },
+		func(c *Config) { c.IPUs = 4; c.InterIPUBytesPerCycle = -0.5 },
+		func(c *Config) { c.SyncCycles = -1 },
+		func(c *Config) { c.ExchangeLatencyCycles = -1 },
+		func(c *Config) { c.VertexOverheadCycles = -1 },
 	}
 	for i, mutate := range bad {
 		cfg := MK2()
 		mutate(&cfg)
 		if err := cfg.Validate(); err == nil {
 			t.Errorf("case %d: bad config validated", i)
+		}
+	}
+	// Single-chip configs never touch the IPU-Link, so a zero inter-IPU
+	// bandwidth is fine there; zero fixed cycle costs are also legal.
+	good := []func(*Config){
+		func(c *Config) { c.IPUs = 1; c.InterIPUBytesPerCycle = 0 },
+		func(c *Config) { c.SyncCycles = 0; c.ExchangeLatencyCycles = 0; c.VertexOverheadCycles = 0 },
+	}
+	for i, mutate := range good {
+		cfg := MK2()
+		mutate(&cfg)
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("good case %d: %v", i, err)
 		}
 	}
 }

@@ -16,10 +16,12 @@
 package ipuauction
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
 
+	"hunipu/internal/faultinject"
 	"hunipu/internal/ipu"
 	"hunipu/internal/lsap"
 	"hunipu/internal/poplar"
@@ -35,6 +37,12 @@ type Options struct {
 	RowsPerTile int
 	// MaxSupersteps bounds execution. 0 means 2^40.
 	MaxSupersteps int64
+	// Fault installs a deterministic fault injector on the simulated
+	// device; see internal/faultinject.
+	Fault faultinject.Injector
+	// MaxRetries bounds checkpoint-resume recovery from transient
+	// injected faults. 0 disables recovery.
+	MaxRetries int
 }
 
 // Solver is the IPU auction. It implements lsap.Solver.
@@ -78,8 +86,22 @@ func (s *Solver) Solve(c *lsap.Matrix) (*lsap.Solution, error) {
 	return r.Solution, nil
 }
 
+// SolveContext implements lsap.ContextSolver.
+func (s *Solver) SolveContext(ctx context.Context, c *lsap.Matrix) (*lsap.Solution, error) {
+	r, err := s.SolveDetailedContext(ctx, c)
+	if err != nil {
+		return nil, err
+	}
+	return r.Solution, nil
+}
+
 // SolveDetailed solves the LSAP and reports the modeled device profile.
 func (s *Solver) SolveDetailed(c *lsap.Matrix) (*Result, error) {
+	return s.SolveDetailedContext(context.Background(), c)
+}
+
+// SolveDetailedContext is SolveDetailed with cancellation support.
+func (s *Solver) SolveDetailedContext(ctx context.Context, c *lsap.Matrix) (*Result, error) {
 	n := c.N
 	if n == 0 {
 		return &Result{Solution: &lsap.Solution{Assignment: lsap.Assignment{}}}, nil
@@ -98,7 +120,12 @@ func (s *Solver) SolveDetailed(c *lsap.Matrix) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	engOpts := []poplar.EngineOption{}
+	if s.opts.Fault != nil {
+		dev.SetInjector(s.opts.Fault)
+	}
+	engOpts := []poplar.EngineOption{
+		poplar.WithRetry(s.opts.MaxRetries, 0),
+	}
 	if s.opts.MaxSupersteps != 0 {
 		engOpts = append(engOpts, poplar.WithMaxSupersteps(s.opts.MaxSupersteps))
 	}
@@ -118,13 +145,24 @@ func (s *Solver) SolveDetailed(c *lsap.Matrix) (*Result, error) {
 	for i, v := range c.Data {
 		benefit[i] = maxC - v
 	}
-	b.benefit.HostWrite(benefit)
 	dev.ResetClock()
-	if err := eng.Run(); err != nil {
+	if err := eng.HostWrite(b.benefit, benefit); err != nil {
+		return nil, fmt.Errorf("ipuauction: input transfer failed: %w", err)
+	}
+	if err := eng.RunContext(ctx); err != nil {
+		if fe, ok := faultinject.AsFault(err); ok {
+			return nil, fe
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return nil, fmt.Errorf("ipuauction: execution failed: %w", err)
 	}
 
-	out := b.assigned.HostRead()
+	out, err := eng.HostRead(b.assigned)
+	if err != nil {
+		return nil, fmt.Errorf("ipuauction: result transfer failed: %w", err)
+	}
 	a := make(lsap.Assignment, n)
 	for i, v := range out {
 		a[i] = int(v)

@@ -32,9 +32,25 @@ func (BruteForce) Solve(c *Matrix) (*Solution, error) {
 	used := make([]bool, n)
 	found := false
 
+	// suffix[i] is a lower bound on the cost rows i..n-1 can still add
+	// (sum of per-row minima, ignoring the column constraint). Pruning
+	// on the partial cost alone is unsound once entries can be
+	// negative: a prefix above best may still win by taking negative
+	// edges later.
+	suffix := make([]float64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		rowMin := math.Inf(1)
+		for j := 0; j < n; j++ {
+			if cij := c.At(i, j); cij != Forbidden && cij < rowMin {
+				rowMin = cij
+			}
+		}
+		suffix[i] = suffix[i+1] + rowMin
+	}
+
 	var rec func(i int, cost float64)
 	rec = func(i int, cost float64) {
-		if cost >= best {
+		if cost+suffix[i] >= best {
 			return
 		}
 		if i == n {

@@ -9,6 +9,7 @@
 package lsap
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -178,4 +179,13 @@ type Solver interface {
 	Solve(c *Matrix) (*Solution, error)
 	// Name identifies the solver in experiment output.
 	Name() string
+}
+
+// ContextSolver is a Solver that additionally honours cancellation and
+// deadlines: SolveContext returns promptly with ctx.Err() (matchable
+// via errors.Is against context.Canceled / context.DeadlineExceeded)
+// when the context ends mid-solve.
+type ContextSolver interface {
+	Solver
+	SolveContext(ctx context.Context, c *Matrix) (*Solution, error)
 }

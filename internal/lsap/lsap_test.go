@@ -171,6 +171,27 @@ func TestBruteForceKnown(t *testing.T) {
 	}
 }
 
+// TestBruteForceNegativeCosts is a fuzz-found regression: pruning on
+// the bare partial cost discarded prefixes that negative later edges
+// would have turned into the optimum.
+func TestBruteForceNegativeCosts(t *testing.T) {
+	m, _ := FromRows([][]float64{
+		{0, 0, 0},
+		{0, 0, -1},
+		{0, -7, -1},
+	})
+	sol, err := (BruteForce{}).Solve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Cost != -8 { // 0 + (-1) + (-7)
+		t.Fatalf("cost = %g, want -8", sol.Cost)
+	}
+	if err := sol.Assignment.Validate(3); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestBruteForceForbidden(t *testing.T) {
 	m, _ := FromRows([][]float64{
 		{Forbidden, 1},

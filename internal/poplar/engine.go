@@ -1,10 +1,12 @@
 package poplar
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"hunipu/internal/ipu"
 )
@@ -66,6 +68,20 @@ type Engine struct {
 	scratch    struct {
 		tileTime map[int]int64
 	}
+
+	// Recovery state (see recovery.go).
+	ctx          context.Context
+	retries      int
+	backoff      time.Duration
+	cpEvery      int64 // configured cadence (0 = auto)
+	cpLive       int64 // effective cadence for the current run
+	steps        int64 // leaf steps executed this attempt (incl. replayed)
+	decisions    []bool
+	replayDecIdx int
+	replaySkip   int64
+	replaying    bool
+	cp           *checkpoint
+	report       RunReport
 }
 
 // NewEngine compiles the graph and program against the device.
@@ -120,8 +136,9 @@ func (e *Engine) Profile() []CSProfile {
 	return out
 }
 
-// Run executes the program once.
-func (e *Engine) Run() error { return e.program.exec(e) }
+// Run executes the program once. Equivalent to RunContext with a
+// background context.
+func (e *Engine) Run() error { return e.RunContext(context.Background()) }
 
 func (e *Engine) checkBudget() error {
 	if e.dev.Stats().Supersteps > e.maxSteps {

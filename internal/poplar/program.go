@@ -1,6 +1,10 @@
 package poplar
 
-import "fmt"
+import (
+	"fmt"
+
+	"hunipu/internal/faultinject"
+)
 
 // Program is a node of the static control-flow tree executed by the
 // Engine. Control flow itself is static (C4): loop bodies and branch
@@ -46,7 +50,28 @@ func Execute(cs *ComputeSet) Program { return &execProg{cs: cs} }
 type execProg struct{ cs *ComputeSet }
 
 func (p *execProg) compile(e *Engine) error { return e.compileComputeSet(p.cs) }
-func (p *execProg) exec(e *Engine) error    { return e.runComputeSet(p.cs) }
+
+func (p *execProg) exec(e *Engine) error {
+	if e.replaying {
+		return e.skipStep()
+	}
+	if err := e.interrupted(); err != nil {
+		return err
+	}
+	if fe := e.dev.CheckFault(p.cs.Name, faultinject.KindSuperstep); fe != nil {
+		var writes []Ref
+		for _, v := range p.cs.vertices {
+			writes = append(writes, v.writes...)
+		}
+		e.applyFaultEffect(fe, writes)
+		return fe
+	}
+	if err := e.runComputeSet(p.cs); err != nil {
+		return err
+	}
+	e.afterStep()
+	return nil
+}
 
 // Repeat runs the body a compile-time-fixed number of times.
 func Repeat(n int, body Program) Program { return &repeatProg{n: n, body: body} }
@@ -93,11 +118,25 @@ func (p *whileProg) compile(e *Engine) error {
 
 func (p *whileProg) exec(e *Engine) error {
 	for {
-		e.dev.ChargeSync()
-		if err := e.checkBudget(); err != nil {
-			return err
+		var branch bool
+		if e.replaying {
+			b, err := e.replayDecision()
+			if err != nil {
+				return err
+			}
+			branch = b
+		} else {
+			e.dev.ChargeSync()
+			if err := e.checkBudget(); err != nil {
+				return err
+			}
+			if err := e.interrupted(); err != nil {
+				return err
+			}
+			branch = p.pred.data[0] != 0
+			e.recordDecision(branch)
 		}
-		if p.pred.data[0] == 0 {
+		if !branch {
 			return nil
 		}
 		if err := p.body.exec(e); err != nil {
@@ -130,11 +169,25 @@ func (p *ifProg) compile(e *Engine) error {
 }
 
 func (p *ifProg) exec(e *Engine) error {
-	e.dev.ChargeSync()
-	if err := e.checkBudget(); err != nil {
-		return err
+	var branch bool
+	if e.replaying {
+		b, err := e.replayDecision()
+		if err != nil {
+			return err
+		}
+		branch = b
+	} else {
+		e.dev.ChargeSync()
+		if err := e.checkBudget(); err != nil {
+			return err
+		}
+		if err := e.interrupted(); err != nil {
+			return err
+		}
+		branch = p.pred.data[0] != 0
+		e.recordDecision(branch)
 	}
-	if p.pred.data[0] != 0 {
+	if branch {
 		return p.then.exec(e)
 	}
 	if p.els != nil {
@@ -192,7 +245,21 @@ func (p *copyProg) compile(e *Engine) error {
 }
 
 func (p *copyProg) exec(e *Engine) error {
+	if e.replaying {
+		return e.skipStep()
+	}
+	if err := e.interrupted(); err != nil {
+		return err
+	}
+	if fe := e.dev.CheckFault("copy:"+p.dst.T.Name, faultinject.KindSuperstep); fe != nil {
+		e.applyFaultEffect(fe, []Ref{p.dst})
+		return fe
+	}
 	copy(p.dst.Data(), p.src.Data())
 	e.dev.Superstep(nil, p.in, p.out, p.cross, 0)
-	return e.checkBudget()
+	if err := e.checkBudget(); err != nil {
+		return err
+	}
+	e.afterStep()
+	return nil
 }

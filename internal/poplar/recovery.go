@@ -1,0 +1,274 @@
+package poplar
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"hunipu/internal/faultinject"
+)
+
+// DefaultCheckpointEvery is the checkpoint cadence (in leaf program
+// steps) used when recovery is active but no explicit cadence was set.
+const DefaultCheckpointEvery = 32
+
+// WithRetry enables transient-fault recovery: up to n retries, each
+// resuming from the last checkpoint, with the given initial backoff
+// (doubled per retry; zero disables the wait, which tests want).
+func WithRetry(n int, backoff time.Duration) EngineOption {
+	return func(e *Engine) {
+		if n >= 0 {
+			e.retries = n
+		}
+		if backoff > 0 {
+			e.backoff = backoff
+		}
+	}
+}
+
+// WithCheckpointEvery sets the checkpoint cadence in leaf program
+// steps (compute sets and copies). Zero keeps the default: no
+// checkpointing unless retries or a device injector make recovery
+// active, in which case DefaultCheckpointEvery applies.
+func WithCheckpointEvery(n int64) EngineOption {
+	return func(e *Engine) {
+		if n > 0 {
+			e.cpEvery = n
+		}
+	}
+}
+
+// RunReport describes what recovery machinery did during a run.
+type RunReport struct {
+	// Retries counts transient faults survived (checkpoint restores for
+	// superstep faults, plus host-transfer retry attempts).
+	Retries int
+	// CheckpointsSaved counts state snapshots taken.
+	CheckpointsSaved int
+	// CheckpointsRestored counts resumes from a snapshot.
+	CheckpointsRestored int
+}
+
+// Report returns the recovery report accumulated since the engine was
+// created or ResetReport was last called. Host-transfer retries happen
+// outside RunContext, so the run itself never clears the report;
+// callers reusing an engine across solves reset it per solve.
+func (e *Engine) Report() RunReport { return e.report }
+
+// ResetReport clears the recovery report (start of a new solve).
+func (e *Engine) ResetReport() { e.report = RunReport{} }
+
+// checkpoint is a superstep-granularity snapshot of all solver state:
+// every tensor's backing data (duals, matching, compressed offsets,
+// control predicates — everything lives in tensors) plus the program
+// position, encoded as the count of executed leaf steps and the length
+// of the control-flow decision log at the time of the snapshot.
+type checkpoint struct {
+	data      [][]float64
+	steps     int64
+	decisions int
+}
+
+// saveCheckpoint snapshots all tensor state at the current position,
+// reusing the previous snapshot's buffers.
+func (e *Engine) saveCheckpoint() {
+	cp := e.cp
+	if cp == nil || len(cp.data) != len(e.graph.tensors) {
+		cp = &checkpoint{data: make([][]float64, len(e.graph.tensors))}
+		e.cp = cp
+	}
+	for i, t := range e.graph.tensors {
+		if cap(cp.data[i]) < len(t.data) {
+			cp.data[i] = make([]float64, len(t.data))
+		}
+		cp.data[i] = cp.data[i][:len(t.data)]
+		copy(cp.data[i], t.data)
+	}
+	cp.steps = e.steps
+	cp.decisions = len(e.decisions)
+	e.report.CheckpointsSaved++
+}
+
+// restoreCheckpoint rewinds tensor state to the last snapshot and arms
+// replay mode. Execution re-walks the program tree from the root:
+// leaf steps are skipped (not executed, not charged) and control-flow
+// decisions are consumed from the truncated log instead of being
+// re-evaluated, until the walk reaches the exact snapshot position —
+// at which point live execution resumes seamlessly. Device stats are
+// deliberately NOT restored: retried work costs modeled time, and the
+// monotone superstep clock keeps one-shot fault rules from refiring on
+// the replayed prefix.
+func (e *Engine) restoreCheckpoint() {
+	cp := e.cp
+	for i, t := range e.graph.tensors {
+		copy(t.data, cp.data[i])
+	}
+	e.decisions = e.decisions[:cp.decisions]
+	e.replayDecIdx = 0
+	e.replaySkip = cp.steps
+	e.steps = 0
+	e.replaying = cp.steps > 0 || cp.decisions > 0
+	e.report.CheckpointsRestored++
+}
+
+// skipStep consumes one leaf step of the replayed prefix.
+func (e *Engine) skipStep() error {
+	if e.replaySkip <= 0 {
+		return fmt.Errorf("poplar: checkpoint replay diverged (step count exhausted)")
+	}
+	e.replaySkip--
+	e.steps++
+	if e.replaySkip == 0 && e.replayDecIdx == len(e.decisions) {
+		e.replaying = false
+	}
+	return nil
+}
+
+// replayDecision consumes one control-flow decision of the replayed
+// prefix. The prefix always ends on a leaf step (checkpoints are taken
+// right after one), so the log can never run dry while steps remain.
+func (e *Engine) replayDecision() (bool, error) {
+	if e.replayDecIdx >= len(e.decisions) {
+		return false, fmt.Errorf("poplar: checkpoint replay diverged (decision log exhausted)")
+	}
+	d := e.decisions[e.replayDecIdx]
+	e.replayDecIdx++
+	return d, nil
+}
+
+// recordDecision appends a live control-flow decision to the log.
+// Recording only happens while recovery is active; without it the log
+// stays empty and replay is never armed.
+func (e *Engine) recordDecision(branch bool) {
+	if e.cpLive > 0 {
+		e.decisions = append(e.decisions, branch)
+	}
+}
+
+// afterStep advances the live step counter and takes a checkpoint on
+// cadence.
+func (e *Engine) afterStep() {
+	e.steps++
+	if e.cpLive > 0 && e.steps%e.cpLive == 0 {
+		e.saveCheckpoint()
+	}
+}
+
+// interrupted reports a context cancellation or deadline expiry. It is
+// consulted once per leaf step and per live predicate sync, so a
+// cancelled solve stops within one superstep.
+func (e *Engine) interrupted() error {
+	if e.ctx == nil {
+		return nil
+	}
+	select {
+	case <-e.ctx.Done():
+		return e.ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// applyFaultEffect mutates device state the way the injected hardware
+// fault would: exchange corruption scribbles NaN over the superstep's
+// destination regions (a corrupted payload), a hard reset wipes every
+// tensor (tile SRAM is gone). The scribble is what makes the chaos
+// invariant meaningful — recovery must restore, not just retry.
+func (e *Engine) applyFaultEffect(fe *faultinject.FaultError, writes []Ref) {
+	switch fe.Class {
+	case faultinject.ExchangeCorruption:
+		for _, w := range writes {
+			d := w.Data()
+			for i := range d {
+				d[i] = math.NaN()
+			}
+		}
+	case faultinject.DeviceReset:
+		for _, t := range e.graph.tensors {
+			for i := range t.data {
+				t.data[i] = 0
+			}
+		}
+	}
+}
+
+// RunContext executes the program once with cancellation, fault
+// injection, and — when retries are configured or the device has an
+// injector — superstep checkpointing and transient-fault recovery.
+// Fatal faults (memory pressure, device reset) and exhausted retries
+// surface as the typed *faultinject.FaultError; cancellation surfaces
+// as ctx.Err().
+func (e *Engine) RunContext(ctx context.Context) error {
+	e.ctx = ctx
+	e.decisions = e.decisions[:0]
+	e.steps = 0
+	e.replaying = false
+	e.cp = nil
+	defer func() { e.cp = nil }() // snapshots are per-run; don't pin them
+
+	e.cpLive = e.cpEvery
+	if e.cpLive == 0 && (e.retries > 0 || e.dev.Injector() != nil) {
+		e.cpLive = DefaultCheckpointEvery
+	}
+	if e.cpLive > 0 {
+		e.saveCheckpoint() // checkpoint 0: the initial state
+	}
+
+	backoff := e.backoff
+	for attempt := 0; ; attempt++ {
+		err := e.program.exec(e)
+		if err == nil {
+			return nil
+		}
+		if !faultinject.IsTransient(err) || attempt >= e.retries || e.cp == nil {
+			return err
+		}
+		e.report.Retries++
+		if backoff > 0 {
+			t := time.NewTimer(backoff)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			case <-t.C:
+			}
+			backoff *= 2
+		}
+		e.restoreCheckpoint()
+	}
+}
+
+// HostWrite transfers host values into a tensor through the device's
+// fault-injection barrier, retrying stalled transfers up to the
+// engine's retry budget.
+func (e *Engine) HostWrite(t *Tensor, vals []float64) error {
+	return e.hostTransfer("host:write", faultinject.KindHostWrite, func() { t.HostWrite(vals) })
+}
+
+// HostRead transfers a tensor back to the host through the same
+// barrier.
+func (e *Engine) HostRead(t *Tensor) ([]float64, error) {
+	var out []float64
+	err := e.hostTransfer("host:read", faultinject.KindHostRead, func() { out = t.HostRead() })
+	return out, err
+}
+
+func (e *Engine) hostTransfer(phase string, kind faultinject.Kind, do func()) error {
+	backoff := e.backoff
+	for attempt := 0; ; attempt++ {
+		fe := e.dev.CheckFault(phase, kind)
+		if fe == nil {
+			do()
+			return nil
+		}
+		if !fe.Transient() || attempt >= e.retries {
+			return fe
+		}
+		e.report.Retries++
+		if backoff > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+	}
+}

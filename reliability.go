@@ -1,0 +1,225 @@
+package hunipu
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"hunipu/internal/core"
+	"hunipu/internal/cpuhung"
+	"hunipu/internal/fastha"
+	"hunipu/internal/faultinject"
+	"hunipu/internal/lsap"
+)
+
+// WithFallback appends a degradation chain: when the primary device
+// fails with anything other than a cancellation, the solve is retried
+// on each fallback device in order, e.g.
+//
+//	hunipu.SolveContext(ctx, costs,
+//		hunipu.WithFallback(hunipu.DeviceGPU, hunipu.DeviceCPU))
+//
+// runs HunIPU on the IPU, degrades to the FastHA GPU baseline if the
+// IPU hard-faults, and finally to the CPU Jonker–Volgenant solver.
+// The Report records every attempt and which device ultimately served.
+func WithFallback(devices ...Device) Option {
+	return func(c *config) { c.fallback = append(c.fallback, devices...) }
+}
+
+// WithFaultSchedule installs a deterministic fault-injection schedule,
+// parsed from the faultinject spec grammar, e.g.
+// "seed=7; exchange every=40 p=0.5; reset at=900". Each device attempt
+// gets a fresh clone of the schedule, so a rule consumed on the
+// primary still fires on a fallback. A malformed spec surfaces as an
+// error from Solve/SolveContext.
+func WithFaultSchedule(spec string) Option {
+	return func(c *config) {
+		s, err := faultinject.ParseSchedule(spec)
+		if err != nil {
+			c.faultErr = err
+			return
+		}
+		c.fault = s
+	}
+}
+
+// WithRecovery enables transient-fault recovery on the simulated
+// devices: up to maxRetries resumes from the last superstep
+// checkpoint, with backoff doubling from the given initial wait.
+func WithRecovery(maxRetries int, backoff time.Duration) Option {
+	return func(c *config) {
+		c.retries = maxRetries
+		c.backoff = backoff
+	}
+}
+
+// Attempt is one device try within a solve.
+type Attempt struct {
+	// Device is the device tried.
+	Device Device
+	// Err is why the attempt failed (nil for the serving attempt).
+	Err error
+	// Retries counts transient faults survived on this device via
+	// checkpoint-resume or transfer retry.
+	Retries int
+	// CheckpointsSaved and CheckpointsRestored describe the recovery
+	// machinery's work during the attempt (IPU devices only).
+	CheckpointsSaved    int
+	CheckpointsRestored int
+	// Faults counts faults injected into this attempt, including the
+	// transient ones that recovery absorbed.
+	Faults int64
+}
+
+// Report describes how a solve reached its answer.
+type Report struct {
+	// Primary is the requested device.
+	Primary Device
+	// Served is the device whose answer was returned.
+	Served Device
+	// FellBack is true when Served differs from Primary.
+	FellBack bool
+	// Attempts lists every device tried, in order.
+	Attempts []Attempt
+}
+
+// Retries sums transient faults survived across all attempts.
+func (r *Report) Retries() int {
+	var n int
+	for _, a := range r.Attempts {
+		n += a.Retries
+	}
+	return n
+}
+
+// SolveContext is Solve with cancellation, deadline, fault-injection,
+// and device-degradation support. Cancellation mid-solve returns
+// ctx.Err() promptly (checked every BSP superstep on the IPU, every
+// kernel launch on the GPU, every augmenting step on the CPU) and is
+// never masked by a fallback. The returned Result carries a Report of
+// every device attempt.
+func SolveContext(ctx context.Context, costs [][]float64, opts ...Option) (*Result, error) {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.faultErr != nil {
+		return nil, fmt.Errorf("hunipu: %w", c.faultErr)
+	}
+	m, rowsN, colsN, err := squareMatrix(costs, c.maximize)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+
+	devices := append([]Device{c.device}, c.fallback...)
+	report := &Report{Primary: c.device, Served: c.device}
+	var (
+		sol     *lsap.Solution
+		modeled time.Duration
+		lastErr error
+	)
+	for _, d := range devices {
+		var att Attempt
+		sol, modeled, att = c.solveOn(ctx, d, m)
+		report.Attempts = append(report.Attempts, att)
+		if att.Err == nil {
+			report.Served = d
+			report.FellBack = d != c.device
+			break
+		}
+		lastErr = att.Err
+		// Cancellation is the caller's decision; degrading to another
+		// device would override it.
+		if errors.Is(att.Err, context.Canceled) || errors.Is(att.Err, context.DeadlineExceeded) {
+			return nil, att.Err
+		}
+	}
+	if sol == nil {
+		return nil, lastErr
+	}
+
+	a := make([]int, rowsN)
+	var cost float64
+	for i := 0; i < rowsN; i++ {
+		j := sol.Assignment[i]
+		if j >= colsN {
+			j = -1
+		} else {
+			cost += costs[i][j]
+		}
+		a[i] = j
+	}
+	return &Result{
+		Assignment: a,
+		Cost:       cost,
+		Device:     report.Served,
+		Modeled:    modeled,
+		Wall:       time.Since(start),
+		Report:     report,
+	}, nil
+}
+
+// solveOn runs one device attempt. Each attempt clones the fault
+// schedule so deterministic rules replay identically per device.
+func (c *config) solveOn(ctx context.Context, d Device, m *lsap.Matrix) (*lsap.Solution, time.Duration, Attempt) {
+	att := Attempt{Device: d}
+	switch d {
+	case DeviceIPU:
+		o := c.ipuOpts
+		sched := c.fault.Clone()
+		if sched != nil {
+			o.Fault = sched
+		}
+		if c.retries > 0 {
+			o.MaxRetries = c.retries
+			o.RetryBackoff = c.backoff
+		}
+		s, err := core.New(o)
+		if err != nil {
+			att.Err = err
+			return nil, 0, att
+		}
+		r, err := s.SolveDetailedContext(ctx, m)
+		att.Faults = sched.Fired()
+		if err != nil {
+			att.Err = err
+			return nil, 0, att
+		}
+		att.Retries = r.Recovery.Retries
+		att.CheckpointsSaved = r.Recovery.CheckpointsSaved
+		att.CheckpointsRestored = r.Recovery.CheckpointsRestored
+		return r.Solution, r.Modeled, att
+	case DeviceGPU:
+		o := c.gpuOpts
+		sched := c.fault.Clone()
+		if sched != nil {
+			o.Fault = sched
+		}
+		s, err := fastha.New(o)
+		if err != nil {
+			att.Err = err
+			return nil, 0, att
+		}
+		r, err := s.SolvePaddedContext(ctx, m)
+		att.Faults = sched.Fired()
+		if err != nil {
+			att.Err = err
+			return nil, 0, att
+		}
+		return r.Solution, r.Modeled, att
+	case DeviceCPU:
+		// The CPU baseline runs natively on the host: no simulated
+		// device, no injection — the always-available last resort.
+		sol, err := (cpuhung.JV{}).SolveContext(ctx, m)
+		if err != nil {
+			att.Err = err
+			return nil, 0, att
+		}
+		return sol, 0, att
+	default:
+		att.Err = fmt.Errorf("hunipu: unknown device %v", d)
+		return nil, 0, att
+	}
+}
