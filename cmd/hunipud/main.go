@@ -1,0 +1,332 @@
+// Command hunipud is the HTTP/JSON serving daemon around the
+// internal/serve front-end: a bounded admission queue with
+// deadline-aware load shedding, per-device circuit breakers over the
+// IPU→GPU→CPU degradation ladder, and graceful drain on SIGTERM.
+//
+// Endpoints:
+//
+//	POST /solve       {"costs": [[...]], "maximize": false, "deadline_ms": 500}
+//	GET  /healthz     liveness (200 while the process runs)
+//	GET  /readyz      readiness (503 while draining or when every breaker is open)
+//	GET  /debug/vars  expvar counters (admitted, shed, served per device,
+//	                  breaker states and transitions, queue high-water mark)
+//
+// Shedding is typed on the wire: 429 overloaded, 422 deadline too
+// short, 503 draining / no device, 504 deadline expired mid-solve,
+// 400 invalid input.
+//
+// Usage:
+//
+//	hunipud -addr :8080 -workers 4 -queue 64 -drain 10s
+//	hunipud -faults-ipu 'reset every=1 times=40'   # chaos drill
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"hunipu"
+	"hunipu/internal/faultinject"
+	"hunipu/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hunipud:", err)
+		os.Exit(1)
+	}
+}
+
+// flags groups the daemon configuration.
+type flags struct {
+	addr            string
+	devices         string
+	workers         int
+	queue           int
+	retries         int
+	backoff         time.Duration
+	latencyBudget   time.Duration
+	breakerWindow   int
+	breakerFailures int
+	breakerOpen     time.Duration
+	drain           time.Duration
+	deadline        time.Duration
+	faultsIPU       string
+	faultsGPU       string
+}
+
+func parseFlags() *flags {
+	f := &flags{}
+	flag.StringVar(&f.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&f.devices, "devices", "ipu,gpu,cpu", "degradation ladder, comma-separated")
+	flag.IntVar(&f.workers, "workers", 0, "solve workers (0 = GOMAXPROCS, capped at 8)")
+	flag.IntVar(&f.queue, "queue", 64, "admission queue depth")
+	flag.IntVar(&f.retries, "retries", 2, "transient-fault checkpoint retries per solve")
+	flag.DurationVar(&f.backoff, "backoff", 5*time.Millisecond, "initial retry backoff")
+	flag.DurationVar(&f.latencyBudget, "latency-budget", 0, "per-solve latency budget; slower serves count against the device's breaker (0 = off)")
+	flag.IntVar(&f.breakerWindow, "breaker-window", 8, "breaker outcome window")
+	flag.IntVar(&f.breakerFailures, "breaker-failures", 4, "failures in window that trip a breaker")
+	flag.DurationVar(&f.breakerOpen, "breaker-open", 2*time.Second, "open duration before a half-open canary")
+	flag.DurationVar(&f.drain, "drain", 10*time.Second, "drain deadline after SIGTERM")
+	flag.DurationVar(&f.deadline, "deadline", 0, "default per-request deadline when the client sends none (0 = none)")
+	flag.StringVar(&f.faultsIPU, "faults-ipu", "", "shared fault schedule injected on the IPU (chaos drills)")
+	flag.StringVar(&f.faultsGPU, "faults-gpu", "", "shared fault schedule injected on the GPU (chaos drills)")
+	flag.Parse()
+	return f
+}
+
+// parseDevices maps the -devices flag to a ladder.
+func parseDevices(spec string) ([]hunipu.Device, error) {
+	var out []hunipu.Device
+	for _, w := range strings.Split(spec, ",") {
+		switch strings.TrimSpace(strings.ToLower(w)) {
+		case "ipu":
+			out = append(out, hunipu.DeviceIPU)
+		case "gpu":
+			out = append(out, hunipu.DeviceGPU)
+		case "cpu":
+			out = append(out, hunipu.DeviceCPU)
+		case "":
+		default:
+			return nil, fmt.Errorf("unknown device %q (want ipu, gpu, cpu)", w)
+		}
+	}
+	return out, nil
+}
+
+// serverConfig assembles the serve.Config from flags.
+func (f *flags) serverConfig() (serve.Config, error) {
+	devices, err := parseDevices(f.devices)
+	if err != nil {
+		return serve.Config{}, err
+	}
+	cfg := serve.Config{
+		Devices:       devices,
+		Workers:       f.workers,
+		QueueDepth:    f.queue,
+		Retries:       f.retries,
+		Backoff:       f.backoff,
+		LatencyBudget: f.latencyBudget,
+		Breaker: serve.BreakerConfig{
+			Window:   f.breakerWindow,
+			Failures: f.breakerFailures,
+			OpenFor:  f.breakerOpen,
+		},
+	}
+	for dev, spec := range map[hunipu.Device]string{
+		hunipu.DeviceIPU: f.faultsIPU,
+		hunipu.DeviceGPU: f.faultsGPU,
+	} {
+		if spec == "" {
+			continue
+		}
+		sched, err := faultinject.ParseSchedule(spec)
+		if err != nil {
+			return serve.Config{}, err
+		}
+		if cfg.Inject == nil {
+			cfg.Inject = map[hunipu.Device]faultinject.Injector{}
+		}
+		cfg.Inject[dev] = sched
+	}
+	return cfg, nil
+}
+
+// solveRequest is the POST /solve body.
+type solveRequest struct {
+	Costs      [][]float64 `json:"costs"`
+	Maximize   bool        `json:"maximize,omitempty"`
+	DeadlineMS int64       `json:"deadline_ms,omitempty"`
+}
+
+// solveResponse is the success body.
+type solveResponse struct {
+	Assignment []int   `json:"assignment"`
+	Cost       float64 `json:"cost"`
+	Device     string  `json:"device"`
+	FellBack   bool    `json:"fell_back"`
+	Attempts   int     `json:"attempts"`
+	ModeledUS  int64   `json:"modeled_us"`
+	WallUS     int64   `json:"wall_us"`
+}
+
+// errorResponse is the failure body.
+type errorResponse struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// activeServer backs the process-wide expvar publication (expvar
+// names can be published only once, but tests build many daemons).
+var (
+	activeServer atomic.Pointer[serve.Server]
+	publishOnce  sync.Once
+)
+
+func publishVars() {
+	publishOnce.Do(func() {
+		expvar.Publish("hunipu_serve", expvar.Func(func() any {
+			if s := activeServer.Load(); s != nil {
+				return s.Vars()
+			}
+			return nil
+		}))
+	})
+}
+
+// daemon binds the HTTP surface to one serve.Server.
+type daemon struct {
+	srv             *serve.Server
+	defaultDeadline time.Duration
+}
+
+// newDaemon wires the mux. The returned handler is what hunipud
+// listens on and what the tests drive via httptest.
+func newDaemon(srv *serve.Server, defaultDeadline time.Duration) (*daemon, http.Handler) {
+	d := &daemon{srv: srv, defaultDeadline: defaultDeadline}
+	activeServer.Store(srv)
+	publishVars()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /solve", d.handleSolve)
+	mux.HandleFunc("GET /healthz", d.handleHealthz)
+	mux.HandleFunc("GET /readyz", d.handleReadyz)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	return d, mux
+}
+
+func (d *daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func (d *daemon) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !d.srv.Ready() {
+		writeError(w, http.StatusServiceUnavailable, "not_ready",
+			fmt.Sprintf("draining=%v", d.srv.Draining()))
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ready")
+}
+
+func (d *daemon) handleSolve(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, 64<<20)
+	var req solveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "malformed JSON: "+err.Error())
+		return
+	}
+	ctx := r.Context()
+	deadline := d.defaultDeadline
+	if req.DeadlineMS > 0 {
+		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+	res, err := d.srv.Submit(ctx, serve.Request{Costs: req.Costs, Maximize: req.Maximize})
+	if err != nil {
+		status, code := classify(err)
+		writeError(w, status, code, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(solveResponse{
+		Assignment: res.Assignment,
+		Cost:       res.Cost,
+		Device:     res.Device.String(),
+		FellBack:   res.Report != nil && res.Report.FellBack,
+		Attempts:   len(res.Report.Attempts),
+		ModeledUS:  res.Modeled.Microseconds(),
+		WallUS:     res.Wall.Microseconds(),
+	})
+}
+
+// classify maps a Submit error to its wire status and code.
+func classify(err error) (int, string) {
+	switch {
+	case errors.Is(err, serve.ErrOverloaded):
+		return http.StatusTooManyRequests, "overloaded"
+	case errors.Is(err, serve.ErrDeadlineTooShort):
+		return http.StatusUnprocessableEntity, "deadline_too_short"
+	case errors.Is(err, serve.ErrDraining):
+		return http.StatusServiceUnavailable, "draining"
+	case errors.Is(err, serve.ErrNoDevice):
+		return http.StatusServiceUnavailable, "no_device"
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "deadline_exceeded"
+	case errors.Is(err, context.Canceled):
+		return 499, "client_closed_request" // nginx's convention
+	case errors.Is(err, hunipu.ErrInvalidInput), errors.Is(err, hunipu.ErrInvalidOption):
+		return http.StatusBadRequest, "invalid_input"
+	default:
+		return http.StatusInternalServerError, "solve_failed"
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: msg, Code: code})
+}
+
+func run() error {
+	f := parseFlags()
+	cfg, err := f.serverConfig()
+	if err != nil {
+		return err
+	}
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+	_, handler := newDaemon(srv, f.deadline)
+	httpSrv := &http.Server{Addr: f.addr, Handler: handler}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("hunipud listening on %s (ladder %s, drain %v)", f.addr, f.devices, f.drain)
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("hunipud draining (deadline %v)", f.drain)
+	srv.BeginDrain() // readyz flips not-ready, admission stops
+	drainCtx, cancel := context.WithTimeout(context.Background(), f.drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		// In-flight HTTP requests outlived the deadline; the serve
+		// layer below will cancel their solves.
+		log.Printf("hunipud: http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	log.Printf("hunipud drained cleanly")
+	return nil
+}

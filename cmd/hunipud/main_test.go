@@ -1,0 +1,199 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hunipu"
+	"hunipu/internal/faultinject"
+	"hunipu/internal/serve"
+)
+
+func newTestDaemon(t *testing.T, cfg serve.Config, defaultDeadline time.Duration) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	srv, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, handler := newDaemon(srv, defaultDeadline)
+	ts := httptest.NewServer(handler)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	})
+	return srv, ts
+}
+
+func postSolve(t *testing.T, ts *httptest.Server, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/solve", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+func TestSolveEndpoint(t *testing.T) {
+	_, ts := newTestDaemon(t, serve.Config{Workers: 2}, 0)
+	resp, raw := postSolve(t, ts, `{"costs":[[4,1,3],[2,0,5],[3,2,2]]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, raw)
+	}
+	var out solveResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("bad JSON %s: %v", raw, err)
+	}
+	if out.Cost != 5 || len(out.Assignment) != 3 {
+		t.Fatalf("response = %+v, want cost 5 with 3 assignments", out)
+	}
+	if out.Device != "IPU" || out.FellBack {
+		t.Fatalf("response = %+v, want clean IPU serve", out)
+	}
+}
+
+func TestSolveEndpointErrors(t *testing.T) {
+	_, ts := newTestDaemon(t, serve.Config{Workers: 1, SeedCostPerCell: time.Millisecond}, 0)
+	cases := []struct {
+		name, body string
+		wantStatus int
+		wantCode   string
+	}{
+		{"malformed json", `{"costs": [[1,`, http.StatusBadRequest, "bad_request"},
+		{"nan entry", `{"costs":[[1,2],[3,"x"]]}`, http.StatusBadRequest, "bad_request"},
+		{"ragged matrix", `{"costs":[[1,2],[3]]}`, http.StatusBadRequest, "invalid_input"},
+		{"deadline too short", `{"costs":[[4,1,3],[2,0,5],[3,2,2]],"deadline_ms":1}`, http.StatusUnprocessableEntity, "deadline_too_short"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, raw := postSolve(t, ts, tc.body)
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status = %d, want %d (body %s)", resp.StatusCode, tc.wantStatus, raw)
+			}
+			var e errorResponse
+			if err := json.Unmarshal(raw, &e); err != nil {
+				t.Fatalf("bad error JSON %s", raw)
+			}
+			if e.Code != tc.wantCode {
+				t.Fatalf("code = %q, want %q (%s)", e.Code, tc.wantCode, e.Error)
+			}
+		})
+	}
+}
+
+func TestHealthAndReadiness(t *testing.T) {
+	srv, ts := newTestDaemon(t, serve.Config{Workers: 1}, 0)
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+	// Draining flips readiness but not liveness, and sheds new solves.
+	srv.BeginDrain()
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while draining = %d, want 503", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz while draining = %d, want 200", resp.StatusCode)
+	}
+	solveResp, raw := postSolve(t, ts, `{"costs":[[1]]}`)
+	if solveResp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("solve while draining = %d (%s), want 503", solveResp.StatusCode, raw)
+	}
+}
+
+// TestReadyzAllBreakersOpen: when every device in the ladder has an
+// open breaker, readiness must fail even though the process is alive.
+func TestReadyzAllBreakersOpen(t *testing.T) {
+	sched := faultinject.NewSchedule(1, faultinject.Rule{
+		Class: faultinject.DeviceReset, At: -1, Every: 1, Times: -1,
+	})
+	srv, ts := newTestDaemon(t, serve.Config{
+		Workers: 1,
+		Devices: []hunipu.Device{hunipu.DeviceIPU},
+		Breaker: serve.BreakerConfig{Window: 2, Failures: 2, OpenFor: time.Hour},
+		Inject:  map[hunipu.Device]faultinject.Injector{hunipu.DeviceIPU: sched},
+	}, 0)
+	body := `{"costs":[[4,1,3],[2,0,5],[3,2,2]]}`
+	for i := 0; i < 2; i++ {
+		resp, _ := postSolve(t, ts, body)
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("faulted solve %d = %d, want 500", i, resp.StatusCode)
+		}
+	}
+	if got := srv.BreakerState(hunipu.DeviceIPU); got != serve.BreakerOpen {
+		t.Fatalf("breaker = %v, want open", got)
+	}
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz with all breakers open = %d, want 503", resp.StatusCode)
+	}
+	resp2, _ := postSolve(t, ts, body)
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("solve with all breakers open = %d, want 503", resp2.StatusCode)
+	}
+}
+
+func TestDebugVars(t *testing.T) {
+	_, ts := newTestDaemon(t, serve.Config{Workers: 1}, 0)
+	if resp, _ := postSolve(t, ts, `{"costs":[[4,1,3],[2,0,5],[3,2,2]]}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve = %d", resp.StatusCode)
+	}
+	resp, err := http.Get(ts.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/vars = %d", resp.StatusCode)
+	}
+	body := string(raw)
+	for _, want := range []string{`"hunipu_serve"`, `"admitted"`, `"breaker_state"`, `"queue_high_water"`} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/debug/vars missing %s:\n%s", want, body)
+		}
+	}
+}
+
+func TestParseDevices(t *testing.T) {
+	got, err := parseDevices("cpu, gpu")
+	if err != nil || len(got) != 2 || got[0] != hunipu.DeviceCPU || got[1] != hunipu.DeviceGPU {
+		t.Fatalf("parseDevices = %v, %v", got, err)
+	}
+	if _, err := parseDevices("tpu"); err == nil {
+		t.Fatal("parseDevices accepted tpu")
+	}
+}

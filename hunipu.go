@@ -22,6 +22,7 @@ package hunipu
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -68,11 +69,12 @@ type config struct {
 	gpuOpts  fastha.Options
 
 	// Reliability knobs; see reliability.go.
-	fallback []Device
-	fault    *faultinject.Schedule
-	faultErr error
-	retries  int
-	backoff  time.Duration
+	fallback  []Device
+	fault     *faultinject.Schedule
+	faultErr  error
+	injectors map[Device]faultinject.Injector
+	retries   int
+	backoff   time.Duration
 }
 
 // Option configures a Solve or Align call.
@@ -87,6 +89,12 @@ func OnGPU() Option { return func(c *config) { c.device = DeviceGPU } }
 
 // OnCPU selects the sequential Jonker–Volgenant baseline.
 func OnCPU() Option { return func(c *config) { c.device = DeviceCPU } }
+
+// OnDevice selects the primary device dynamically — the programmatic
+// form of OnIPU/OnGPU/OnCPU for callers (CLI flags, serving layers)
+// that route by value. An unknown device is rejected with an error
+// wrapping ErrInvalidOption.
+func OnDevice(d Device) Option { return func(c *config) { c.device = d } }
 
 // Maximize solves a maximisation problem (e.g. similarities) instead
 // of the default minimisation.
@@ -130,6 +138,12 @@ func Solve(costs [][]float64, opts ...Option) (*Result, error) {
 	return SolveContext(context.Background(), costs, opts...)
 }
 
+// ErrInvalidInput is wrapped by every cost-matrix validation failure
+// (ragged rows, NaN/Inf entries, reserved sentinel values), so
+// front-ends can map bad requests to a client error without matching
+// message text. Match with errors.Is.
+var ErrInvalidInput = errors.New("invalid input")
+
 // validateFinite rejects ragged inputs and entries no solver can
 // process: NaN, ±Inf, and values at or above the lsap.Forbidden
 // sentinel. Every public entry point shares this check so that a
@@ -142,14 +156,14 @@ func validateFinite(costs [][]float64) error {
 	cols := len(costs[0])
 	for i, r := range costs {
 		if len(r) != cols {
-			return fmt.Errorf("hunipu: row %d has %d entries, want %d (ragged matrix)", i, len(r), cols)
+			return fmt.Errorf("hunipu: row %d has %d entries, want %d (ragged matrix): %w", i, len(r), cols, ErrInvalidInput)
 		}
 		for j, v := range r {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return fmt.Errorf("hunipu: cost[%d][%d] = %g, all entries must be finite", i, j, v)
+				return fmt.Errorf("hunipu: cost[%d][%d] = %g, all entries must be finite: %w", i, j, v, ErrInvalidInput)
 			}
 			if v >= lsap.Forbidden {
-				return fmt.Errorf("hunipu: cost[%d][%d] = %g is reserved for forbidden edges", i, j, v)
+				return fmt.Errorf("hunipu: cost[%d][%d] = %g is reserved for forbidden edges: %w", i, j, v, ErrInvalidInput)
 			}
 		}
 	}

@@ -30,23 +30,6 @@ func (c cancelAt) Check(p faultinject.Point) *faultinject.FaultError {
 	return nil
 }
 
-// checkNoLeak asserts the goroutine count settles back to the
-// baseline; a cancelled solve must not strand workers or timers.
-func checkNoLeak(t *testing.T, before int) {
-	t.Helper()
-	deadline := time.Now().Add(2 * time.Second)
-	for {
-		if runtime.NumGoroutine() <= before {
-			return
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("goroutine leak after cancelled solve: %d before, %d after",
-				before, runtime.NumGoroutine())
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-}
-
 func TestCancelMidSolveIPU(t *testing.T) {
 	before := runtime.NumGoroutine()
 	m := genUniform(rand.New(rand.NewSource(11)), 16)
@@ -63,7 +46,7 @@ func TestCancelMidSolveIPU(t *testing.T) {
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
-	checkNoLeak(t, before)
+	CheckNoLeak(t, before)
 }
 
 func TestCancelMidSolveGPU(t *testing.T) {
@@ -79,7 +62,7 @@ func TestCancelMidSolveGPU(t *testing.T) {
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
-	checkNoLeak(t, before)
+	CheckNoLeak(t, before)
 }
 
 func TestCancelMidSolveCPU(t *testing.T) {
@@ -96,7 +79,7 @@ func TestCancelMidSolveCPU(t *testing.T) {
 		_, err := cpuhung.JV{}.SolveContext(ctx, m)
 		cancel()
 		if errors.Is(err, context.Canceled) {
-			checkNoLeak(t, before)
+			CheckNoLeak(t, before)
 			return
 		}
 		if err != nil {
@@ -128,5 +111,5 @@ func TestDeadlineExpiredAllDevices(t *testing.T) {
 			t.Errorf("%s: err = %v, want context.DeadlineExceeded", s.Name(), err)
 		}
 	}
-	checkNoLeak(t, before)
+	CheckNoLeak(t, before)
 }

@@ -1,0 +1,27 @@
+package conformance
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// CheckNoLeak asserts the goroutine count settles back to the
+// baseline captured before the scenario ran; a cancelled or failed
+// solve must not strand workers or timers. Shared by the per-device
+// cancellation tests here, the public-API concurrency suite, and the
+// serving layer's drain tests.
+func CheckNoLeak(t testing.TB, before int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before, %d after",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

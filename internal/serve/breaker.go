@@ -1,0 +1,230 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+// The breaker states.
+const (
+	// BreakerClosed: the device is healthy and takes traffic.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the device is sick; traffic routes around it until
+	// the open window elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the open window elapsed; exactly one canary
+	// solve probes the device while everyone else still routes around.
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// BreakerConfig tunes the per-device circuit breakers.
+type BreakerConfig struct {
+	// Window is how many recent outcomes each breaker remembers.
+	// 0 means 8.
+	Window int
+	// Failures trips the breaker when at least this many of the
+	// windowed outcomes are failures (hard faults or latency-budget
+	// violations). 0 means 4.
+	Failures int
+	// OpenFor is how long a tripped breaker routes around its device
+	// before half-opening for a canary probe. 0 means 2s.
+	OpenFor time.Duration
+}
+
+// withDefaults resolves zero fields.
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Window == 0 {
+		c.Window = 8
+	}
+	if c.Failures == 0 {
+		c.Failures = 4
+	}
+	if c.OpenFor == 0 {
+		c.OpenFor = 2 * time.Second
+	}
+	return c
+}
+
+// validate rejects unusable configurations.
+func (c BreakerConfig) validate() error {
+	if c.Window < 0 || c.Failures < 0 || c.OpenFor < 0 {
+		return fmt.Errorf("serve: breaker config %+v: negative field", c)
+	}
+	if c.Failures > c.Window {
+		return fmt.Errorf("serve: breaker Failures = %d > Window = %d can never trip", c.Failures, c.Window)
+	}
+	return nil
+}
+
+// breaker is one device's circuit breaker: a count-based sliding
+// window of outcomes in the closed state, a timed open state, and a
+// single-canary half-open state. All methods are safe for concurrent
+// use.
+type breaker struct {
+	cfg      BreakerConfig
+	now      func() time.Time
+	onChange func(from, to BreakerState)
+
+	mu       sync.Mutex
+	state    BreakerState
+	window   []bool // ring buffer, true = failure
+	size     int    // filled entries
+	next     int    // ring write index
+	fails    int    // failures currently in the window
+	openedAt time.Time
+	probing  bool // a canary is in flight (half-open)
+}
+
+func newBreaker(cfg BreakerConfig, now func() time.Time, onChange func(from, to BreakerState)) *breaker {
+	return &breaker{
+		cfg:      cfg,
+		now:      now,
+		onChange: onChange,
+		window:   make([]bool, cfg.Window),
+	}
+}
+
+// transition moves the state machine, firing the change hook. The
+// caller holds b.mu.
+func (b *breaker) transition(to BreakerState) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	if b.onChange != nil {
+		b.onChange(from, to)
+	}
+}
+
+// resetWindow clears the outcome history. The caller holds b.mu.
+func (b *breaker) resetWindow() {
+	for i := range b.window {
+		b.window[i] = false
+	}
+	b.size, b.next, b.fails = 0, 0, 0
+}
+
+// State returns the current state, promoting an elapsed open window
+// to half-open so observers (readiness, metrics) see probe
+// eligibility without waiting for traffic.
+func (b *breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cfg.OpenFor {
+		b.transition(BreakerHalfOpen)
+	}
+	return b.state
+}
+
+// acquire asks to route one request through the device. ok reports
+// whether the device may be tried; probe is true when this request is
+// the half-open canary (the caller must later call either record or,
+// if the attempt never ran, release).
+func (b *breaker) acquire() (ok, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true, false
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cfg.OpenFor {
+			return false, false
+		}
+		b.transition(BreakerHalfOpen)
+		fallthrough
+	case BreakerHalfOpen:
+		if b.probing {
+			return false, false
+		}
+		b.probing = true
+		return true, true
+	}
+	return false, false
+}
+
+// available reports whether acquire could currently succeed — used by
+// admission to pick the cheapest viable device without claiming the
+// canary slot.
+func (b *breaker) available() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		return b.now().Sub(b.openedAt) >= b.cfg.OpenFor
+	case BreakerHalfOpen:
+		return !b.probing
+	}
+	return false
+}
+
+// release returns an unexecuted canary slot (the request was served by
+// an earlier device in the ladder, or cancelled before the attempt).
+func (b *breaker) release(probe bool) {
+	if !probe {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+}
+
+// record feeds one attempt outcome into the state machine.
+func (b *breaker) record(probe, failure bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe {
+		b.probing = false
+		if failure {
+			// The canary died: back to a full open window.
+			b.openedAt = b.now()
+			b.transition(BreakerOpen)
+			return
+		}
+		b.resetWindow()
+		b.transition(BreakerClosed)
+		return
+	}
+	if b.state != BreakerClosed {
+		// A straggler that routed before the trip; its outcome already
+		// told us nothing new.
+		return
+	}
+	if b.size == len(b.window) { // evict the oldest outcome
+		if b.window[b.next] {
+			b.fails--
+		}
+	} else {
+		b.size++
+	}
+	b.window[b.next] = failure
+	if failure {
+		b.fails++
+	}
+	b.next = (b.next + 1) % len(b.window)
+	if b.fails >= b.cfg.Failures {
+		b.resetWindow()
+		b.openedAt = b.now()
+		b.transition(BreakerOpen)
+	}
+}

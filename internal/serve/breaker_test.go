@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for breaker timing tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(clk *fakeClock, transitions *[]BreakerState) *breaker {
+	return newBreaker(
+		BreakerConfig{Window: 4, Failures: 3, OpenFor: time.Second},
+		clk.now,
+		func(from, to BreakerState) {
+			if transitions != nil {
+				*transitions = append(*transitions, to)
+			}
+		},
+	)
+}
+
+func TestBreakerTripsOnWindowedFailures(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	var trans []BreakerState
+	b := newTestBreaker(clk, &trans)
+
+	// Successes keep it closed.
+	for i := 0; i < 10; i++ {
+		if ok, probe := b.acquire(); !ok || probe {
+			t.Fatalf("closed breaker refused traffic (ok=%v probe=%v)", ok, probe)
+		}
+		b.record(false, false)
+	}
+	// Failures interleaved below the threshold: window 4, failures 3.
+	for _, f := range []bool{true, false, true} {
+		b.acquire()
+		b.record(false, f)
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state = %v after 2 failures in window, want closed", got)
+	}
+	b.acquire()
+	b.record(false, true) // last four outcomes: t f t t → 3 failures
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state = %v, want open after 3 failures in window of 4", got)
+	}
+	if len(trans) != 1 || trans[0] != BreakerOpen {
+		t.Fatalf("transitions = %v, want [open]", trans)
+	}
+	if ok, _ := b.acquire(); ok {
+		t.Fatal("open breaker admitted traffic before OpenFor elapsed")
+	}
+}
+
+func TestBreakerHalfOpenSingleCanary(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	var trans []BreakerState
+	b := newTestBreaker(clk, &trans)
+	for i := 0; i < 3; i++ {
+		b.acquire()
+		b.record(false, true)
+	}
+	if b.State() != BreakerOpen {
+		t.Fatal("breaker did not trip")
+	}
+	clk.advance(time.Second)
+	ok1, probe1 := b.acquire()
+	ok2, _ := b.acquire()
+	if !ok1 || !probe1 {
+		t.Fatalf("first post-window acquire = (%v, %v), want canary", ok1, probe1)
+	}
+	if ok2 {
+		t.Fatal("second acquire admitted while canary in flight")
+	}
+	// Canary fails → back to open for a full window.
+	b.record(true, true)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v after failed canary, want open", b.State())
+	}
+	if ok, _ := b.acquire(); ok {
+		t.Fatal("re-opened breaker admitted immediately")
+	}
+	clk.advance(time.Second)
+	ok, probe := b.acquire()
+	if !ok || !probe {
+		t.Fatal("second canary not offered after re-open window")
+	}
+	// Canary succeeds → closed, window reset.
+	b.record(true, false)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v after healthy canary, want closed", b.State())
+	}
+	if ok, probe := b.acquire(); !ok || probe {
+		t.Fatalf("closed breaker acquire = (%v, %v)", ok, probe)
+	}
+	want := []BreakerState{BreakerOpen, BreakerHalfOpen, BreakerOpen, BreakerHalfOpen, BreakerClosed}
+	if len(trans) != len(want) {
+		t.Fatalf("transitions = %v, want %v", trans, want)
+	}
+	for i := range want {
+		if trans[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", trans, want)
+		}
+	}
+}
+
+func TestBreakerReleaseReturnsCanarySlot(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newTestBreaker(clk, nil)
+	for i := 0; i < 3; i++ {
+		b.acquire()
+		b.record(false, true)
+	}
+	clk.advance(time.Second)
+	if ok, probe := b.acquire(); !ok || !probe {
+		t.Fatal("canary not offered")
+	}
+	// The ladder never reached this device: the slot must come back.
+	b.release(true)
+	if ok, probe := b.acquire(); !ok || !probe {
+		t.Fatal("canary slot not recycled after release")
+	}
+}
+
+func TestBreakerStragglerRecordsIgnoredWhileOpen(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newTestBreaker(clk, nil)
+	for i := 0; i < 3; i++ {
+		b.acquire()
+		b.record(false, true)
+	}
+	// A request that acquired before the trip finishes late; its
+	// outcome must not perturb the open state machine.
+	b.record(false, false)
+	b.record(false, true)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open despite straggler records", b.State())
+	}
+}

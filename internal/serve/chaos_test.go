@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"hunipu"
+	"hunipu/internal/conformance"
+	"hunipu/internal/faultinject"
+)
+
+// TestChaosServeBreakerTripAndRecover is the PR's acceptance scenario
+// end to end: a fault-saturated IPU trips its circuit breaker, every
+// client keeps getting correct answers from the GPU meanwhile, the
+// breaker half-opens with single canaries, and once the fault budget
+// drains the canary succeeds, the breaker closes, and traffic returns
+// to the IPU — with zero failed client responses throughout.
+func TestChaosServeBreakerTripAndRecover(t *testing.T) {
+	const openFor = 100 * time.Millisecond
+	// A shared (uncloned) schedule whose reset budget drains with
+	// traffic: 3 faults to trip the breaker + 1 to kill the first
+	// canary, then the IPU is healthy again.
+	sched := faultinject.NewSchedule(1, faultinject.Rule{
+		Class: faultinject.DeviceReset, At: -1, Every: 1, Times: 4,
+	})
+	s := newTestServer(t, Config{
+		Workers: 1,
+		Breaker: BreakerConfig{Window: 4, Failures: 3, OpenFor: openFor},
+		Inject:  map[hunipu.Device]faultinject.Injector{hunipu.DeviceIPU: sched},
+	})
+	costs := testCosts(12, 40)
+	clean, err := hunipu.Solve(costs, hunipu.OnCPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustServe := func(wantDev hunipu.Device, phase string) {
+		t.Helper()
+		res, err := s.Submit(context.Background(), Request{Costs: costs})
+		if err != nil {
+			t.Fatalf("%s: client response failed: %v", phase, err)
+		}
+		if res.Cost != clean.Cost {
+			t.Fatalf("%s: cost = %g, want %g", phase, res.Cost, clean.Cost)
+		}
+		if res.Device != wantDev {
+			t.Fatalf("%s: served by %v, want %v (report %+v)", phase, res.Device, wantDev, res.Report)
+		}
+	}
+
+	// Phase 1 — saturation: three requests each lose their IPU attempt
+	// to a reset and are served by the GPU; the third trips the breaker.
+	for i := 0; i < 3; i++ {
+		mustServe(hunipu.DeviceGPU, "saturation")
+	}
+	if got := s.BreakerState(hunipu.DeviceIPU); got != BreakerOpen {
+		t.Fatalf("IPU breaker = %v after 3 hard faults, want open", got)
+	}
+	if !s.Ready() {
+		t.Fatal("server not ready with GPU/CPU healthy")
+	}
+
+	// Phase 2 — routed around: while open, the IPU is not even tried
+	// (the fault counter stays put) and traffic keeps flowing.
+	firedAtTrip := sched.Fired()
+	for i := 0; i < 2; i++ {
+		mustServe(hunipu.DeviceGPU, "routed-around")
+	}
+	if got := sched.Fired(); got != firedAtTrip {
+		t.Fatalf("IPU tried while breaker open: fired %d → %d", firedAtTrip, got)
+	}
+
+	// Phase 3 — failed canary: after OpenFor the next request probes
+	// the still-sick IPU, eats the last budgeted fault, re-opens the
+	// breaker, and is still served by the GPU.
+	time.Sleep(openFor + 10*time.Millisecond)
+	mustServe(hunipu.DeviceGPU, "failed-canary")
+	if got := s.BreakerState(hunipu.DeviceIPU); got != BreakerOpen {
+		t.Fatalf("IPU breaker = %v after failed canary, want open", got)
+	}
+	if got := sched.Fired(); got != firedAtTrip+1 {
+		t.Fatalf("canary fired %d faults, want exactly 1", got-firedAtTrip)
+	}
+
+	// Phase 4 — recovery: the schedule is drained, so the next canary
+	// succeeds, closes the breaker, and serves from the IPU.
+	time.Sleep(openFor + 10*time.Millisecond)
+	mustServe(hunipu.DeviceIPU, "healthy-canary")
+	if got := s.BreakerState(hunipu.DeviceIPU); got != BreakerClosed {
+		t.Fatalf("IPU breaker = %v after healthy canary, want closed", got)
+	}
+	mustServe(hunipu.DeviceIPU, "recovered")
+
+	m := s.Metrics()
+	if m.Failed.Load() != 0 {
+		t.Fatalf("Failed = %d, want zero failed client responses", m.Failed.Load())
+	}
+	if got := m.BreakerOpened[0].Load(); got != 2 {
+		t.Fatalf("IPU breaker opened %d times, want 2 (trip + failed canary)", got)
+	}
+	if got := m.BreakerClosed[0].Load(); got != 1 {
+		t.Fatalf("IPU breaker closed %d times, want 1", got)
+	}
+	if served := m.Served[devIdx(hunipu.DeviceGPU)].Load(); served != 6 {
+		t.Fatalf("GPU served %d, want 6 while IPU was sick", served)
+	}
+}
+
+// TestChaosServeConcurrentLoad hammers the server from many clients
+// while the IPU randomly hard-faults: every response must be either a
+// correct answer or a typed shed error — never a wrong answer, never
+// an untyped failure — and the pool must not leak goroutines.
+func TestChaosServeConcurrentLoad(t *testing.T) {
+	before := runtime.NumGoroutine()
+	sched := faultinject.NewSchedule(7, faultinject.Rule{
+		Class: faultinject.DeviceReset, At: -1, Every: 1, Prob: 0.5, Times: -1,
+	})
+	s, err := New(Config{
+		Workers:    4,
+		QueueDepth: 8,
+		Retries:    1,
+		Breaker:    BreakerConfig{Window: 6, Failures: 3, OpenFor: 20 * time.Millisecond},
+		Inject:     map[hunipu.Device]faultinject.Injector{hunipu.DeviceIPU: sched},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clients, perClient = 8, 3
+	sizes := []int{8, 10, 12}
+	want := make([]float64, len(sizes))
+	matrices := make([][][]float64, len(sizes))
+	for i, n := range sizes {
+		matrices[i] = testCosts(n, int64(50+i))
+		res, err := hunipu.Solve(matrices[i], hunipu.OnCPU())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res.Cost
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, clients*perClient)
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < perClient; r++ {
+				i := (c + r) % len(sizes)
+				res, err := s.Submit(context.Background(), Request{Costs: matrices[i]})
+				switch {
+				case err == nil:
+					if res.Cost != want[i] {
+						errc <- fmt.Errorf("client %d req %d: cost %g, want %g (cross-request interference?)", c, r, res.Cost, want[i])
+					}
+				case errors.Is(err, ErrOverloaded):
+					// Typed shed under pressure: acceptable.
+				default:
+					errc <- fmt.Errorf("client %d req %d: untyped failure %v", c, r, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for e := range errc {
+		t.Error(e)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown = %v", err)
+	}
+	conformance.CheckNoLeak(t, before)
+}

@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"hunipu"
+)
+
+// costModel predicts the wall time of a solve from its size so
+// admission control can shed requests whose deadline the solve cannot
+// meet. The model is deliberately simple: per device, an EWMA of
+// observed wall time normalised by n² (the per-device work of one
+// parallel Hungarian phase sweep; the outer-loop count varies per
+// instance, which the EWMA absorbs). It starts from a configured
+// optimistic seed so a cold server admits rather than sheds, and
+// converges onto the deployment's real hardware within a few solves.
+type costModel struct {
+	mu    sync.Mutex
+	coeff map[hunipu.Device]float64 // ns per matrix cell
+	seed  float64                   // initial ns per cell
+}
+
+// ewmaAlpha is the weight of the newest observation.
+const ewmaAlpha = 0.3
+
+func newCostModel(seedPerCell time.Duration) *costModel {
+	return &costModel{
+		coeff: make(map[hunipu.Device]float64),
+		seed:  float64(seedPerCell),
+	}
+}
+
+// Estimate models the wall time of an n×n solve on device d.
+func (m *costModel) Estimate(d hunipu.Device, n int) time.Duration {
+	m.mu.Lock()
+	c, ok := m.coeff[d]
+	m.mu.Unlock()
+	if !ok {
+		c = m.seed
+	}
+	return time.Duration(c * float64(n) * float64(n))
+}
+
+// Observe folds one served solve into the device's coefficient.
+func (m *costModel) Observe(d hunipu.Device, n int, wall time.Duration) {
+	if n == 0 || wall <= 0 {
+		return
+	}
+	obs := float64(wall) / (float64(n) * float64(n))
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok := m.coeff[d]; ok {
+		m.coeff[d] = (1-ewmaAlpha)*c + ewmaAlpha*obs
+	} else {
+		m.coeff[d] = obs
+	}
+}

@@ -1,0 +1,25 @@
+package serve
+
+import "errors"
+
+// Typed admission errors. A front-end maps these to protocol codes
+// (hunipud: 429, 422, 503, 503 respectively); match with errors.Is.
+var (
+	// ErrOverloaded: the bounded admission queue is full. The request
+	// was shed before any work happened; retry with backoff.
+	ErrOverloaded = errors.New("serve: overloaded, admission queue full")
+
+	// ErrDeadlineTooShort: the request's remaining deadline cannot
+	// cover the modeled solve cost for its size on any available
+	// device, so running it would only waste a worker on a result the
+	// client will never use.
+	ErrDeadlineTooShort = errors.New("serve: deadline too short for modeled solve cost")
+
+	// ErrDraining: the server is shutting down and no longer admits
+	// new work. In-flight requests still complete.
+	ErrDraining = errors.New("serve: draining, not admitting new work")
+
+	// ErrNoDevice: every device's circuit breaker is open and no
+	// half-open probe slot is available.
+	ErrNoDevice = errors.New("serve: no device available, all circuit breakers open")
+)

@@ -1,0 +1,425 @@
+// Package serve is the concurrent solve front-end that turns the
+// one-shot hunipu library into a service: a bounded admission queue
+// with deadline-aware load shedding, a worker pool running each
+// request through hunipu.SolveContext with full cancellation
+// propagation, per-device circuit breakers layered on top of the
+// reliability layer's degradation ladder, and graceful drain on
+// shutdown. cmd/hunipud exposes it over HTTP.
+//
+// Pipeline per request:
+//
+//	Submit → admission (draining? deadline coverable? queue slot?) →
+//	queue → worker → breaker routing (closed devices + one half-open
+//	canary) → SolveContext(primary, WithFallback(rest...)) →
+//	Report.Attempts feed breakers and the cost model → response.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hunipu"
+	"hunipu/internal/faultinject"
+)
+
+// Request is one solve to admit.
+type Request struct {
+	// Costs is the cost matrix (see hunipu.Solve for semantics).
+	Costs [][]float64
+	// Maximize solves a maximisation problem.
+	Maximize bool
+}
+
+// Config tunes a Server. The zero value is usable: ladder
+// IPU→GPU→CPU, GOMAXPROCS workers (capped at 8), queue depth 64,
+// default breakers, 50ns/cell cost-model seed.
+type Config struct {
+	// Devices is the degradation ladder in preference order. Empty
+	// means IPU → GPU → CPU. Devices must be distinct.
+	Devices []hunipu.Device
+	// Workers is the solve pool size.
+	Workers int
+	// QueueDepth bounds the admission queue; a full queue sheds with
+	// ErrOverloaded.
+	QueueDepth int
+	// Retries and Backoff arm hunipu.WithRecovery on every solve.
+	Retries int
+	Backoff time.Duration
+	// LatencyBudget, when positive, marks any serving attempt slower
+	// than this as a breaker failure signal even though the client
+	// still gets its answer.
+	LatencyBudget time.Duration
+	// Breaker tunes the per-device circuit breakers.
+	Breaker BreakerConfig
+	// SeedCostPerCell seeds the admission cost model (wall time per
+	// matrix cell before any observation). 0 means 50ns.
+	SeedCostPerCell time.Duration
+	// Inject installs shared fault injectors per device
+	// (hunipu.WithInjector): chaos testing and fault drills. Unlike
+	// WithFaultSchedule these are NOT cloned per solve, so a
+	// times-bounded schedule drains across requests.
+	Inject map[hunipu.Device]faultinject.Injector
+	// OnBreakerChange, when set, observes every breaker transition
+	// (already counted in Metrics).
+	OnBreakerChange func(d hunipu.Device, from, to BreakerState)
+	// Now is the clock (tests inject a fake one). nil means time.Now.
+	Now func() time.Time
+}
+
+// withDefaults resolves zero fields.
+func (c Config) withDefaults() Config {
+	if len(c.Devices) == 0 {
+		c.Devices = []hunipu.Device{hunipu.DeviceIPU, hunipu.DeviceGPU, hunipu.DeviceCPU}
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+		if c.Workers > 8 {
+			c.Workers = 8
+		}
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.SeedCostPerCell == 0 {
+		c.SeedCostPerCell = 50 * time.Nanosecond
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	c.Breaker = c.Breaker.withDefaults()
+	return c
+}
+
+// item is one queued request.
+type item struct {
+	ctx  context.Context
+	req  Request
+	n    int
+	done chan outcome // buffered; the worker never blocks on it
+}
+
+type outcome struct {
+	res *hunipu.Result
+	err error
+}
+
+// Server is the serving layer. Create with New, feed with Submit,
+// stop with Shutdown.
+type Server struct {
+	cfg      Config
+	queue    chan *item
+	breakers map[hunipu.Device]*breaker
+	model    *costModel
+	metrics  Metrics
+
+	mu        sync.RWMutex // guards queue close vs Submit send
+	draining  atomic.Bool
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	// hardCtx cancels in-flight solves when the drain deadline passes.
+	hardCtx    context.Context
+	hardCancel context.CancelFunc
+}
+
+// New validates the configuration and starts the worker pool.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Workers < 0 || cfg.QueueDepth < 0 || cfg.Retries < 0 || cfg.Backoff < 0 {
+		return nil, fmt.Errorf("serve: negative config field: %+v", cfg)
+	}
+	if err := cfg.Breaker.validate(); err != nil {
+		return nil, err
+	}
+	seen := map[hunipu.Device]bool{}
+	for _, d := range cfg.Devices {
+		if d != hunipu.DeviceIPU && d != hunipu.DeviceGPU && d != hunipu.DeviceCPU {
+			return nil, fmt.Errorf("serve: unknown device %v in ladder", d)
+		}
+		if seen[d] {
+			return nil, fmt.Errorf("serve: device %v appears twice in ladder", d)
+		}
+		seen[d] = true
+	}
+	s := &Server{
+		cfg:      cfg,
+		queue:    make(chan *item, cfg.QueueDepth),
+		breakers: make(map[hunipu.Device]*breaker),
+		model:    newCostModel(cfg.SeedCostPerCell),
+	}
+	s.hardCtx, s.hardCancel = context.WithCancel(context.Background())
+	for _, d := range cfg.Devices {
+		d := d
+		s.breakers[d] = newBreaker(cfg.Breaker, cfg.Now, func(from, to BreakerState) {
+			s.metrics.observeBreaker(d, to)
+			if cfg.OnBreakerChange != nil {
+				cfg.OnBreakerChange(d, from, to)
+			}
+		})
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Metrics exposes the live counters.
+func (s *Server) Metrics() *Metrics { return &s.metrics }
+
+// Vars renders the server state for expvar publication.
+func (s *Server) Vars() map[string]any {
+	v := s.metrics.snapshot()
+	states := map[string]string{}
+	for _, d := range s.cfg.Devices {
+		states[d.String()] = s.breakers[d].State().String()
+	}
+	v["breaker_state"] = states
+	v["queue_depth"] = len(s.queue)
+	v["draining"] = s.draining.Load()
+	return v
+}
+
+// BreakerState reports one device's breaker position (BreakerClosed
+// for devices outside the ladder).
+func (s *Server) BreakerState(d hunipu.Device) BreakerState {
+	if b, ok := s.breakers[d]; ok {
+		return b.State()
+	}
+	return BreakerClosed
+}
+
+// Draining reports whether the server has stopped admitting.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Ready implements the readiness gate: not draining, and at least one
+// device can still take traffic.
+func (s *Server) Ready() bool {
+	if s.draining.Load() {
+		return false
+	}
+	for _, d := range s.cfg.Devices {
+		if s.breakers[d].available() {
+			return true
+		}
+	}
+	return false
+}
+
+// cheapestEstimate is the lowest modeled solve time across devices
+// the breakers would currently admit.
+func (s *Server) cheapestEstimate(n int) (time.Duration, bool) {
+	best, found := time.Duration(0), false
+	for _, d := range s.cfg.Devices {
+		if !s.breakers[d].available() {
+			continue
+		}
+		if est := s.model.Estimate(d, n); !found || est < best {
+			best, found = est, true
+		}
+	}
+	return best, found
+}
+
+// Submit admits, queues, and executes one request, blocking until the
+// result is ready, the request is shed, or ctx ends. Shedding is
+// typed: ErrDraining, ErrDeadlineTooShort, ErrOverloaded, ErrNoDevice.
+func (s *Server) Submit(ctx context.Context, req Request) (*hunipu.Result, error) {
+	if s.draining.Load() {
+		s.metrics.ShedDraining.Add(1)
+		return nil, ErrDraining
+	}
+	n := len(req.Costs)
+	if deadline, ok := ctx.Deadline(); ok {
+		remaining := time.Until(deadline)
+		est, avail := s.cheapestEstimate(n)
+		if !avail {
+			s.metrics.ShedNoDevice.Add(1)
+			return nil, ErrNoDevice
+		}
+		if remaining < est {
+			s.metrics.ShedDeadline.Add(1)
+			return nil, fmt.Errorf("%w: %v remaining, %v modeled for n=%d", ErrDeadlineTooShort, remaining, est, n)
+		}
+	}
+	it := &item{ctx: ctx, req: req, n: n, done: make(chan outcome, 1)}
+	s.mu.RLock()
+	if s.draining.Load() { // re-check under the lock that orders close
+		s.mu.RUnlock()
+		s.metrics.ShedDraining.Add(1)
+		return nil, ErrDraining
+	}
+	select {
+	case s.queue <- it:
+		depth := int64(len(s.queue))
+		s.mu.RUnlock()
+		s.metrics.Admitted.Add(1)
+		s.metrics.raiseHWM(depth)
+	default:
+		s.mu.RUnlock()
+		s.metrics.ShedOverloaded.Add(1)
+		return nil, ErrOverloaded
+	}
+	select {
+	case out := <-it.done:
+		return out.res, out.err
+	case <-ctx.Done():
+		// The worker (if it ever starts this item) sees the same ctx
+		// and abandons promptly; the buffered done channel lets it
+		// finish without a receiver.
+		return nil, ctx.Err()
+	}
+}
+
+// worker drains the queue until Shutdown closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for it := range s.queue {
+		s.process(it)
+	}
+}
+
+// pick is one breaker-approved rung of the ladder.
+type pick struct {
+	dev   hunipu.Device
+	probe bool
+}
+
+// process runs one admitted request through the breaker-filtered
+// degradation ladder.
+func (s *Server) process(it *item) {
+	s.metrics.InFlight.Add(1)
+	defer s.metrics.InFlight.Add(-1)
+	if err := it.ctx.Err(); err != nil {
+		it.done <- outcome{nil, err}
+		return
+	}
+
+	var picks []pick
+	for _, d := range s.cfg.Devices {
+		if ok, probe := s.breakers[d].acquire(); ok {
+			picks = append(picks, pick{d, probe})
+		}
+	}
+	if len(picks) == 0 {
+		s.metrics.ShedNoDevice.Add(1)
+		it.done <- outcome{nil, ErrNoDevice}
+		return
+	}
+
+	// Cancellation propagates from the caller's ctx and, past the
+	// drain deadline, from hardCtx.
+	ctx, cancel := context.WithCancel(it.ctx)
+	defer cancel()
+	stop := context.AfterFunc(s.hardCtx, cancel)
+	defer stop()
+
+	opts := []hunipu.Option{hunipu.OnDevice(picks[0].dev)}
+	if len(picks) > 1 {
+		rest := make([]hunipu.Device, 0, len(picks)-1)
+		for _, p := range picks[1:] {
+			rest = append(rest, p.dev)
+		}
+		opts = append(opts, hunipu.WithFallback(rest...))
+	}
+	if s.cfg.Retries > 0 {
+		opts = append(opts, hunipu.WithRecovery(s.cfg.Retries, s.cfg.Backoff))
+	}
+	for d, inj := range s.cfg.Inject {
+		opts = append(opts, hunipu.WithInjector(d, inj))
+	}
+	if it.req.Maximize {
+		opts = append(opts, hunipu.Maximize())
+	}
+
+	res, err := hunipu.SolveContext(ctx, it.req.Costs, opts...)
+	s.settle(picks, it.n, res, err)
+	it.done <- outcome{res, err}
+}
+
+// settle feeds the solve's per-attempt outcomes back into the
+// breakers and the cost model. Devices the ladder never reached
+// release their canary claim; cancellations blame no device.
+func (s *Server) settle(picks []pick, n int, res *hunipu.Result, err error) {
+	var report *hunipu.Report
+	if res != nil {
+		report = res.Report
+	} else {
+		var ce *hunipu.ChainError
+		if errors.As(err, &ce) {
+			report = ce.Report
+		}
+	}
+	attempts := map[hunipu.Device]hunipu.Attempt{}
+	if report != nil {
+		for _, a := range report.Attempts {
+			attempts[a.Device] = a
+		}
+	}
+	for _, p := range picks {
+		att, tried := attempts[p.dev]
+		switch {
+		case !tried:
+			s.breakers[p.dev].release(p.probe)
+		case att.Err == nil:
+			slow := s.cfg.LatencyBudget > 0 && att.Wall > s.cfg.LatencyBudget
+			s.breakers[p.dev].record(p.probe, slow)
+			s.metrics.Served[devIdx(p.dev)].Add(1)
+			s.model.Observe(p.dev, n, att.Wall)
+		case errors.Is(att.Err, context.Canceled) || errors.Is(att.Err, context.DeadlineExceeded):
+			// The caller walked away (or drain cancelled us): not the
+			// device's fault.
+			s.breakers[p.dev].release(p.probe)
+		default:
+			s.breakers[p.dev].record(p.probe, true)
+		}
+	}
+	if err != nil {
+		s.metrics.Failed.Add(1)
+	}
+}
+
+// BeginDrain flips the server not-ready and stops admission without
+// touching in-flight work. Shutdown calls it; a front-end may call it
+// earlier to fail its readiness probe before connections stop.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Shutdown drains gracefully: stop admitting, let queued and
+// in-flight solves finish, and — only once ctx expires — cancel
+// whatever is still running. It returns nil when every admitted
+// request completed normally, or an error describing the forced
+// cancellation.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.BeginDrain()
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		close(s.queue)
+		s.mu.Unlock()
+	})
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.hardCancel()
+		return nil
+	case <-ctx.Done():
+	}
+	// Drain deadline passed: cancel in-flight solves (every device
+	// checks its context at superstep/kernel/augment granularity) and
+	// give them a moment to unwind.
+	s.hardCancel()
+	select {
+	case <-done:
+		return fmt.Errorf("serve: drain deadline exceeded, in-flight solves cancelled")
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("serve: workers failed to exit after cancellation")
+	}
+}

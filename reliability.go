@@ -13,6 +13,12 @@ import (
 	"hunipu/internal/lsap"
 )
 
+// ErrInvalidOption is wrapped by every option-validation failure
+// surfaced from Solve/SolveContext: negative retry budgets, negative
+// backoff, duplicate devices in the fallback chain, unknown devices.
+// Match with errors.Is.
+var ErrInvalidOption = errors.New("invalid option")
+
 // WithFallback appends a degradation chain: when the primary device
 // fails with anything other than a cancellation, the solve is retried
 // on each fallback device in order, e.g.
@@ -23,6 +29,8 @@ import (
 // runs HunIPU on the IPU, degrades to the FastHA GPU baseline if the
 // IPU hard-faults, and finally to the CPU Jonker–Volgenant solver.
 // The Report records every attempt and which device ultimately served.
+// A chain that repeats a device (including the primary) is rejected
+// with an error wrapping ErrInvalidOption.
 func WithFallback(devices ...Device) Option {
 	return func(c *config) { c.fallback = append(c.fallback, devices...) }
 }
@@ -44,9 +52,28 @@ func WithFaultSchedule(spec string) Option {
 	}
 }
 
+// WithInjector installs a fault injector on one device's attempts.
+// Unlike WithFaultSchedule the injector is NOT cloned per attempt: the
+// same stateful injector is shared across every solve that passes it,
+// which is what a serving layer needs to model a persistently sick
+// device whose fault budget drains across requests (a times-bounded
+// schedule stops firing once exhausted, letting the device recover).
+// An injector set for a device takes precedence over WithFaultSchedule
+// on that device. The CPU solver runs natively and ignores injectors.
+func WithInjector(d Device, inj faultinject.Injector) Option {
+	return func(c *config) {
+		if c.injectors == nil {
+			c.injectors = make(map[Device]faultinject.Injector)
+		}
+		c.injectors[d] = inj
+	}
+}
+
 // WithRecovery enables transient-fault recovery on the simulated
 // devices: up to maxRetries resumes from the last superstep
 // checkpoint, with backoff doubling from the given initial wait.
+// Negative maxRetries or backoff are rejected with an error wrapping
+// ErrInvalidOption.
 func WithRecovery(maxRetries int, backoff time.Duration) Option {
 	return func(c *config) {
 		c.retries = maxRetries
@@ -60,6 +87,8 @@ type Attempt struct {
 	Device Device
 	// Err is why the attempt failed (nil for the serving attempt).
 	Err error
+	// Wall is the real time this attempt took, queueing excluded.
+	Wall time.Duration
 	// Retries counts transient faults survived on this device via
 	// checkpoint-resume or transfer retry.
 	Retries int
@@ -70,6 +99,12 @@ type Attempt struct {
 	// Faults counts faults injected into this attempt, including the
 	// transient ones that recovery absorbed.
 	Faults int64
+	// IPUDetail carries the full device profile of a successful IPU
+	// attempt (stats, per-compute-set breakdown when profiling is on,
+	// recovery report); nil for other devices and failed attempts.
+	IPUDetail *core.Result
+	// GPUDetail is the FastHA profile of a successful GPU attempt.
+	GPUDetail *fastha.Result
 }
 
 // Report describes how a solve reached its answer.
@@ -93,19 +128,75 @@ func (r *Report) Retries() int {
 	return n
 }
 
+// ChainError is returned by Solve/SolveContext when every device in
+// the fallback chain failed. It carries the Report of all attempts so
+// callers (e.g. a serving layer feeding circuit breakers) can see
+// which device failed how; Unwrap exposes the last device's error, so
+// errors.Is/As against typed faults keep working.
+type ChainError struct {
+	// Report records every failed attempt.
+	Report *Report
+	// Err is the final device's failure.
+	Err error
+}
+
+// Error implements error.
+func (e *ChainError) Error() string {
+	return fmt.Sprintf("hunipu: all %d device attempts failed: %v", len(e.Report.Attempts), e.Err)
+}
+
+// Unwrap exposes the last attempt's error.
+func (e *ChainError) Unwrap() error { return e.Err }
+
+// validate checks the assembled option set; every failure wraps
+// ErrInvalidOption (except fault-spec parse errors, which surface the
+// faultinject error) so a serving layer can shed bad requests with a
+// typed 4xx rather than a 5xx.
+func (c *config) validate() error {
+	if c.faultErr != nil {
+		return fmt.Errorf("hunipu: %w", c.faultErr)
+	}
+	if c.retries < 0 {
+		return fmt.Errorf("hunipu: WithRecovery: maxRetries = %d, want ≥ 0: %w", c.retries, ErrInvalidOption)
+	}
+	if c.backoff < 0 {
+		return fmt.Errorf("hunipu: WithRecovery: backoff = %v, want ≥ 0: %w", c.backoff, ErrInvalidOption)
+	}
+	if !c.device.known() {
+		return fmt.Errorf("hunipu: unknown device %v: %w", c.device, ErrInvalidOption)
+	}
+	seen := map[Device]bool{c.device: true}
+	for _, d := range c.fallback {
+		if !d.known() {
+			return fmt.Errorf("hunipu: WithFallback: unknown device %v: %w", d, ErrInvalidOption)
+		}
+		if seen[d] {
+			return fmt.Errorf("hunipu: WithFallback: device %v appears twice in the chain: %w", d, ErrInvalidOption)
+		}
+		seen[d] = true
+	}
+	return nil
+}
+
+// known reports whether d is one of the defined devices.
+func (d Device) known() bool {
+	return d == DeviceIPU || d == DeviceGPU || d == DeviceCPU
+}
+
 // SolveContext is Solve with cancellation, deadline, fault-injection,
 // and device-degradation support. Cancellation mid-solve returns
 // ctx.Err() promptly (checked every BSP superstep on the IPU, every
 // kernel launch on the GPU, every augmenting step on the CPU) and is
 // never masked by a fallback. The returned Result carries a Report of
-// every device attempt.
+// every device attempt. When every device in the chain fails, the
+// error is a *ChainError wrapping the last device's failure.
 func SolveContext(ctx context.Context, costs [][]float64, opts ...Option) (*Result, error) {
 	var c config
 	for _, o := range opts {
 		o(&c)
 	}
-	if c.faultErr != nil {
-		return nil, fmt.Errorf("hunipu: %w", c.faultErr)
+	if err := c.validate(); err != nil {
+		return nil, err
 	}
 	m, rowsN, colsN, err := squareMatrix(costs, c.maximize)
 	if err != nil {
@@ -121,8 +212,10 @@ func SolveContext(ctx context.Context, costs [][]float64, opts ...Option) (*Resu
 		lastErr error
 	)
 	for _, d := range devices {
+		t0 := time.Now()
 		var att Attempt
 		sol, modeled, att = c.solveOn(ctx, d, m)
+		att.Wall = time.Since(t0)
 		report.Attempts = append(report.Attempts, att)
 		if att.Err == nil {
 			report.Served = d
@@ -137,7 +230,7 @@ func SolveContext(ctx context.Context, costs [][]float64, opts ...Option) (*Resu
 		}
 	}
 	if sol == nil {
-		return nil, lastErr
+		return nil, &ChainError{Report: report, Err: lastErr}
 	}
 
 	a := make([]int, rowsN)
@@ -161,16 +254,37 @@ func SolveContext(ctx context.Context, costs [][]float64, opts ...Option) (*Resu
 	}, nil
 }
 
-// solveOn runs one device attempt. Each attempt clones the fault
-// schedule so deterministic rules replay identically per device.
+// injectorFor resolves the injector for one device attempt: a shared
+// WithInjector injector wins; otherwise the schedule is cloned so
+// deterministic rules replay identically per device.
+func (c *config) injectorFor(d Device) faultinject.Injector {
+	if inj, ok := c.injectors[d]; ok {
+		return inj
+	}
+	if s := c.fault.Clone(); s != nil {
+		return s
+	}
+	return nil
+}
+
+// firedCount reads the fire counter of schedule-backed injectors (the
+// only stateful kind the repo ships); other injectors report 0.
+func firedCount(inj faultinject.Injector) int64 {
+	if s, ok := inj.(*faultinject.Schedule); ok {
+		return s.Fired()
+	}
+	return 0
+}
+
+// solveOn runs one device attempt.
 func (c *config) solveOn(ctx context.Context, d Device, m *lsap.Matrix) (*lsap.Solution, time.Duration, Attempt) {
 	att := Attempt{Device: d}
 	switch d {
 	case DeviceIPU:
 		o := c.ipuOpts
-		sched := c.fault.Clone()
-		if sched != nil {
-			o.Fault = sched
+		inj := c.injectorFor(d)
+		if inj != nil {
+			o.Fault = inj
 		}
 		if c.retries > 0 {
 			o.MaxRetries = c.retries
@@ -181,8 +295,9 @@ func (c *config) solveOn(ctx context.Context, d Device, m *lsap.Matrix) (*lsap.S
 			att.Err = err
 			return nil, 0, att
 		}
+		before := firedCount(inj)
 		r, err := s.SolveDetailedContext(ctx, m)
-		att.Faults = sched.Fired()
+		att.Faults = firedCount(inj) - before
 		if err != nil {
 			att.Err = err
 			return nil, 0, att
@@ -190,24 +305,27 @@ func (c *config) solveOn(ctx context.Context, d Device, m *lsap.Matrix) (*lsap.S
 		att.Retries = r.Recovery.Retries
 		att.CheckpointsSaved = r.Recovery.CheckpointsSaved
 		att.CheckpointsRestored = r.Recovery.CheckpointsRestored
+		att.IPUDetail = r
 		return r.Solution, r.Modeled, att
 	case DeviceGPU:
 		o := c.gpuOpts
-		sched := c.fault.Clone()
-		if sched != nil {
-			o.Fault = sched
+		inj := c.injectorFor(d)
+		if inj != nil {
+			o.Fault = inj
 		}
 		s, err := fastha.New(o)
 		if err != nil {
 			att.Err = err
 			return nil, 0, att
 		}
+		before := firedCount(inj)
 		r, err := s.SolvePaddedContext(ctx, m)
-		att.Faults = sched.Fired()
+		att.Faults = firedCount(inj) - before
 		if err != nil {
 			att.Err = err
 			return nil, 0, att
 		}
+		att.GPUDetail = r
 		return r.Solution, r.Modeled, att
 	case DeviceCPU:
 		// The CPU baseline runs natively on the host: no simulated

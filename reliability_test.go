@@ -224,6 +224,111 @@ func TestFaultScheduleClonePerDevice(t *testing.T) {
 	}
 }
 
+// TestOptionValidation: malformed reliability options must surface a
+// typed error from Solve/SolveContext, never be silently accepted.
+func TestOptionValidation(t *testing.T) {
+	costs := testCosts(4, 20)
+	cases := []struct {
+		name string
+		opts []Option
+	}{
+		{"negative retries", []Option{WithRecovery(-1, 0)}},
+		{"negative backoff", []Option{WithRecovery(2, -time.Second)}},
+		{"duplicate fallback", []Option{WithFallback(DeviceGPU, DeviceGPU)}},
+		{"fallback repeats primary", []Option{OnGPU(), WithFallback(DeviceCPU, DeviceGPU)}},
+		{"duplicate across calls", []Option{WithFallback(DeviceGPU), WithFallback(DeviceGPU)}},
+		{"unknown fallback device", []Option{WithFallback(Device(42))}},
+		{"unknown primary device", []Option{OnDevice(Device(7))}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Solve(costs, tc.opts...)
+			if !errors.Is(err, ErrInvalidOption) {
+				t.Fatalf("err = %v, want ErrInvalidOption", err)
+			}
+		})
+	}
+	// The happy path must stay accepted.
+	if _, err := Solve(costs, WithRecovery(0, 0), WithFallback(DeviceGPU, DeviceCPU)); err != nil {
+		t.Fatalf("valid options rejected: %v", err)
+	}
+}
+
+// TestChainErrorCarriesReport: a fully failed chain returns a
+// *ChainError whose Report lists every attempt — the signal a serving
+// layer's circuit breakers consume.
+func TestChainErrorCarriesReport(t *testing.T) {
+	_, err := Solve(testCosts(8, 21),
+		WithFaultSchedule("reset every=1 times=-1"),
+		WithFallback(DeviceGPU),
+	)
+	var ce *ChainError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *ChainError", err)
+	}
+	if len(ce.Report.Attempts) != 2 {
+		t.Fatalf("attempts = %d, want 2", len(ce.Report.Attempts))
+	}
+	for _, att := range ce.Report.Attempts {
+		if att.Err == nil {
+			t.Fatalf("attempt %+v should carry its failure", att)
+		}
+	}
+}
+
+// TestSharedInjectorDrainsAcrossSolves: WithInjector shares one
+// stateful schedule across solves (no per-attempt clone), so a
+// times-bounded fault budget drains with traffic — the mechanism a
+// serving layer uses to model a sick device that later recovers.
+func TestSharedInjectorDrainsAcrossSolves(t *testing.T) {
+	costs := testCosts(16, 22)
+	clean, err := Solve(costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := faultinject.NewSchedule(1, faultinject.Rule{
+		Class: faultinject.DeviceReset, At: -1, Every: 1, Times: 2,
+	})
+	inj := WithInjector(DeviceIPU, sched)
+	for i := 0; i < 2; i++ {
+		res, err := Solve(costs, inj, WithFallback(DeviceCPU))
+		if err != nil || res.Report.Served != DeviceCPU {
+			t.Fatalf("solve %d: err=%v served=%v, want CPU fallback", i, err, res.Report.Served)
+		}
+	}
+	// Budget exhausted: the IPU serves again.
+	res, err := Solve(costs, inj, WithFallback(DeviceCPU))
+	if err != nil || res.Report.Served != DeviceIPU {
+		t.Fatalf("post-drain: err=%v report=%+v, want IPU serve", err, res.Report)
+	}
+	if res.Cost != clean.Cost {
+		t.Fatalf("post-drain cost = %g, want %g", res.Cost, clean.Cost)
+	}
+}
+
+// TestAttemptWallAndDetail: attempts record wall time, and successful
+// simulated-device attempts expose their device profile.
+func TestAttemptWallAndDetail(t *testing.T) {
+	res, err := Solve(testCosts(16, 23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	att := res.Report.Attempts[0]
+	if att.Wall <= 0 {
+		t.Fatalf("attempt wall = %v, want > 0", att.Wall)
+	}
+	if att.IPUDetail == nil || att.IPUDetail.Stats.Supersteps == 0 {
+		t.Fatalf("IPU attempt detail missing: %+v", att.IPUDetail)
+	}
+	res, err = Solve(testCosts(16, 23), OnGPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if att := res.Report.Attempts[0]; att.GPUDetail == nil || att.GPUDetail.Stats.Kernels == 0 {
+		t.Fatalf("GPU attempt detail missing: %+v", att.GPUDetail)
+	}
+}
+
 func TestValidationSharedAcrossEntryPoints(t *testing.T) {
 	bad := [][]float64{{1, 2}, {3, math.Inf(1)}}
 	if _, err := Solve(bad); err == nil {
