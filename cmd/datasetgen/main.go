@@ -93,7 +93,7 @@ func writeMatrix(m *lsap.Matrix, path string) error {
 		return err
 	}
 	if _, err := m.WriteTo(f); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	return f.Close()
@@ -105,7 +105,7 @@ func writeGraph(g *graphalign.Graph, path string) error {
 		return err
 	}
 	if _, err := g.WriteTo(f); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	return f.Close()

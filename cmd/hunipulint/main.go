@@ -1,0 +1,131 @@
+// Command hunipulint runs the repository's static-analysis suite (see
+// internal/analysis) over the named packages.
+//
+// Usage:
+//
+//	hunipulint [-json] [-checks list] [packages...]
+//
+// Packages default to ./... and follow the usual pattern forms
+// (./internal/poplar, ./...). The tool is stdlib-only: it parses and
+// type-checks from source, so it needs no build cache and no
+// golang.org/x/tools.
+//
+// Exit codes: 0 — clean; 1 — findings reported; 2 — driver error
+// (unparseable package, unknown check, bad usage).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hunipu/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("hunipulint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array of {file, line, check, message}")
+	checks := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	list := fs.Bool("list", false, "list available checks and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	selected, err := selectAnalyzers(*checks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hunipulint:", err)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hunipulint:", err)
+		return 2
+	}
+	root, err := findModuleRoot(wd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hunipulint:", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hunipulint:", err)
+		return 2
+	}
+	paths, err := loader.Match(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hunipulint:", err)
+		return 2
+	}
+	pkgs, err := loader.Load(paths)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hunipulint:", err)
+		return 2
+	}
+
+	findings := analysis.Run(pkgs, selected)
+	if *jsonOut {
+		if err := analysis.WriteJSON(os.Stdout, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "hunipulint:", err)
+			return 2
+		}
+	} else if err := analysis.WriteText(os.Stdout, findings); err != nil {
+		fmt.Fprintln(os.Stderr, "hunipulint:", err)
+		return 2
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers resolves the -checks flag against the registry.
+func selectAnalyzers(spec string) ([]*analysis.Analyzer, error) {
+	all := analysis.Analyzers()
+	if spec == "" {
+		return all, nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown check %q (run -list for the set)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// findModuleRoot walks up from dir to the nearest go.mod.
+func findModuleRoot(dir string) (string, error) {
+	for {
+		if _, err := os.Stat(dir + "/go.mod"); err == nil {
+			return dir, nil
+		}
+		parent := dir[:strings.LastIndex(dir+"/", "/")]
+		parent = strings.TrimSuffix(parent, "/")
+		if parent == dir || parent == "" {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

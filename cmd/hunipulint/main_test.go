@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeModule lays out a throwaway single-package module and chdirs
+// into it for the duration of the test.
+func writeModule(t *testing.T, source string) {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module fixturemod\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "lib.go"), []byte(source), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Chdir(dir)
+}
+
+const cleanSource = `package lib
+
+import "errors"
+
+var ErrX = errors.New("x")
+
+func Work() error { return ErrX }
+
+func Handle() error {
+	if err := Work(); !errors.Is(err, ErrX) {
+		return err
+	}
+	return nil
+}
+`
+
+const dirtySource = `package lib
+
+import "errors"
+
+var ErrX = errors.New("x")
+
+func Work() error { return ErrX }
+
+func Drop() {
+	Work()
+}
+`
+
+// Exit-code contract: 0 — clean tree.
+func TestExitZeroOnCleanModule(t *testing.T) {
+	writeModule(t, cleanSource)
+	if code := run([]string{"./..."}); code != 0 {
+		t.Fatalf("clean module: exit %d, want 0", code)
+	}
+}
+
+// Exit-code contract: 1 — findings reported.
+func TestExitOneOnFindings(t *testing.T) {
+	writeModule(t, dirtySource)
+	if code := run([]string{"./..."}); code != 1 {
+		t.Fatalf("dirty module: exit %d, want 1", code)
+	}
+	if code := run([]string{"-json", "./..."}); code != 1 {
+		t.Fatalf("dirty module -json: exit %d, want 1", code)
+	}
+}
+
+// Exit-code contract: 2 — driver errors (unknown check, bad source).
+func TestExitTwoOnDriverError(t *testing.T) {
+	writeModule(t, cleanSource)
+	if code := run([]string{"-checks", "nonsense", "./..."}); code != 2 {
+		t.Fatalf("unknown check: exit %d, want 2", code)
+	}
+	if err := os.WriteFile("broken.go", []byte("package lib\n\nfunc ("), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"./..."}); code != 2 {
+		t.Fatalf("unparseable source: exit %d, want 2", code)
+	}
+}
+
+// -checks subsets run only the named analyzers.
+func TestChecksSubset(t *testing.T) {
+	writeModule(t, dirtySource)
+	if code := run([]string{"-checks", "leakygo", "./..."}); code != 0 {
+		t.Fatalf("errdiscipline finding must not surface under -checks leakygo, got exit %d", code)
+	}
+	if code := run([]string{"-checks", "errdiscipline", "./..."}); code != 1 {
+		t.Fatalf("-checks errdiscipline must surface the finding, got exit %d", code)
+	}
+}
+
+func TestListExitsZero(t *testing.T) {
+	if code := run([]string{"-list"}); code != 0 {
+		t.Fatalf("-list: exit %d, want 0", code)
+	}
+}

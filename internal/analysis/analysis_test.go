@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestWriteJSONSchema pins the -json contract: an array of objects
+// with exactly the keys file, line, check, message.
+func TestWriteJSONSchema(t *testing.T) {
+	var buf bytes.Buffer
+	findings := []Finding{
+		{File: "a.go", Line: 3, Check: "ctxflow", Message: "m1"},
+		{File: "b.go", Line: 7, Check: "leakygo", Message: "m2"},
+	}
+	if err := WriteJSON(&buf, findings); err != nil {
+		t.Fatal(err)
+	}
+	var parsed []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("output is not a JSON array: %v", err)
+	}
+	if len(parsed) != 2 {
+		t.Fatalf("want 2 objects, got %d", len(parsed))
+	}
+	for _, obj := range parsed {
+		var keys []string
+		for k := range obj {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		if got := strings.Join(keys, ","); got != "check,file,line,message" {
+			t.Fatalf("finding keys = %s, want exactly check,file,line,message", got)
+		}
+		if _, ok := obj["line"].(float64); !ok {
+			t.Fatalf("line must be a JSON number, got %T", obj["line"])
+		}
+	}
+}
+
+// TestWriteJSONEmpty: no findings renders as [], never null.
+func TestWriteJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Fatalf("empty findings must render as [], got %q", got)
+	}
+}
+
+// TestFindingsSortedDeterministically: Run orders by file, line,
+// check, message regardless of discovery order.
+func TestFindingsSortedDeterministically(t *testing.T) {
+	pkg, _ := loadFixture(t, filepath.Join("testdata", "nodeterminism", "bad.go"))
+	first := Run([]*Package{pkg}, Analyzers())
+	for i := 0; i < 5; i++ {
+		pkg2, _ := loadFixture(t, filepath.Join("testdata", "nodeterminism", "bad.go"))
+		again := Run([]*Package{pkg2}, Analyzers())
+		if len(again) != len(first) {
+			t.Fatalf("finding count changed: %d vs %d", len(again), len(first))
+		}
+		for j := range again {
+			if again[j] != first[j] {
+				t.Fatalf("finding %d changed: %v vs %v", j, again[j], first[j])
+			}
+		}
+	}
+}
+
+// TestLoaderOnRepo type-checks a real module package end to end.
+func TestLoaderOnRepo(t *testing.T) {
+	l, err := NewLoader(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Module != "hunipu" {
+		t.Fatalf("module = %q", l.Module)
+	}
+	pkgs, err := l.Load([]string{"hunipu/internal/faultinject"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Types == nil {
+		t.Fatal("faultinject did not load")
+	}
+}

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// CtxFlow enforces context threading in library packages (every
+// non-main package): context.Background() and context.TODO() may only
+// appear inside single-statement convenience wrappers that forward to
+// a context-taking variant; a declared ctx parameter must actually be
+// used; and exported *Context entry points must lead with the context.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "context.Context is threaded through solver entry points, never invented mid-library",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(p *Pass) {
+	if p.Pkg.Types.Name() == "main" {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		var funcs []*ast.FuncDecl
+		ast.Inspect(f, func(n ast.Node) bool {
+			if fd, ok := n.(*ast.FuncDecl); ok {
+				funcs = append(funcs, fd)
+			}
+			return true
+		})
+		for _, fd := range funcs {
+			checkBackgroundCalls(p, fd)
+			checkUnusedCtxParam(p, fd.Type, fd.Body)
+			checkContextSuffix(p, fd)
+		}
+	}
+}
+
+// checkBackgroundCalls flags context.Background/TODO unless the
+// enclosing function is a one-statement forwarding wrapper (the
+// conventional ctx-free convenience entry point, e.g.
+// Solve → SolveContext(context.Background(), ...)).
+func checkBackgroundCalls(p *Pass, fd *ast.FuncDecl) {
+	if fd.Body == nil {
+		return
+	}
+	wrapper := len(fd.Body.List) == 1
+	// Only inspect statements of this function, not nested FuncDecls
+	// (which cannot occur) — nested FuncLits are part of the body and
+	// inherit the verdict: a literal inside a multi-statement function
+	// is not a wrapper.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isPkgCall(p, call, "context", "Background", "TODO") && !wrapper {
+			p.Reportf(call.Pos(),
+				"%s inside a library function; accept a ctx from the caller (or make this a one-statement forwarding wrapper)",
+				callName(call))
+		}
+		return true
+	})
+}
+
+// checkUnusedCtxParam flags context.Context parameters that the body
+// never reads: the signature promises cancellation support the
+// implementation does not deliver.
+func checkUnusedCtxParam(p *Pass, ft *ast.FuncType, body *ast.BlockStmt) {
+	if ft.Params == nil || body == nil {
+		return
+	}
+	for _, field := range ft.Params.List {
+		t := p.TypeOf(field.Type)
+		if t == nil || !isContextType(t) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj := p.Pkg.Info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			used := false
+			ast.Inspect(body, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && p.Pkg.Info.Uses[id] == obj {
+					used = true
+					return false
+				}
+				return !used
+			})
+			if !used {
+				p.Reportf(name.Pos(),
+					"context parameter %q is accepted but never used; propagate it or name it _", name.Name)
+			}
+		}
+	}
+}
+
+// checkContextSuffix requires exported ...Context functions to take a
+// context.Context as their first parameter, so the naming convention
+// stays truthful.
+func checkContextSuffix(p *Pass, fd *ast.FuncDecl) {
+	if !fd.Name.IsExported() || !strings.HasSuffix(fd.Name.Name, "Context") {
+		return
+	}
+	params := fd.Type.Params
+	if params != nil && len(params.List) > 0 {
+		if t := p.TypeOf(params.List[0].Type); t != nil && isContextType(t) {
+			return
+		}
+	}
+	p.Reportf(fd.Name.Pos(),
+		"exported %s is named *Context but its first parameter is not a context.Context", fd.Name.Name)
+}

@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// fixturePathRe extracts the fake import path a fixture declares, so
+// path-scoped checks (nodeterminism, noatomics) can be exercised.
+var fixturePathRe = regexp.MustCompile(`(?m)^//hunipulint:path (\S+)$`)
+
+// wantRe extracts `// want "regex"` expectations from fixture lines.
+var wantRe = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	line int
+	re   *regexp.Regexp
+}
+
+// loadFixture parses and type-checks one single-file fixture package,
+// honouring its //hunipulint:path directive, and collects its want
+// expectations.
+func loadFixture(t *testing.T, file string) (*Package, []expectation) {
+	t.Helper()
+	src, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := "fixture/" + filepath.Base(file)
+	if m := fixturePathRe.FindSubmatch(src); m != nil {
+		path = string(m[1])
+	}
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filepath.Base(file), src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse %s: %v", file, err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, fset, []*ast.File{f}, info)
+	if len(typeErrs) > 0 {
+		t.Fatalf("type-check %s: %v", file, typeErrs[0])
+	}
+	var wants []expectation
+	for i, line := range strings.Split(string(src), "\n") {
+		for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+			re, err := regexp.Compile(m[1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regex %q: %v", file, i+1, m[1], err)
+			}
+			wants = append(wants, expectation{line: i + 1, re: re})
+		}
+	}
+	return &Package{
+		Path:  path,
+		Fset:  fset,
+		Files: []*ast.File{f},
+		Info:  info,
+		Types: tpkg,
+	}, wants
+}
+
+// TestGolden runs each analyzer over its own fixture files and
+// requires exact agreement with the // want expectations: every want
+// matched by a finding on that line, every finding expected. A
+// disabled or broken check leaves the bad fixture's wants unmatched
+// and fails here.
+func TestGolden(t *testing.T) {
+	for _, a := range Analyzers() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			dir := filepath.Join("testdata", a.Name)
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatalf("analyzer %s has no fixture directory: %v", a.Name, err)
+			}
+			var sawWant bool
+			for _, e := range entries {
+				if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+					continue
+				}
+				file := filepath.Join(dir, e.Name())
+				pkg, wants := loadFixture(t, file)
+				if len(wants) > 0 {
+					sawWant = true
+				}
+				findings := Run([]*Package{pkg}, []*Analyzer{a})
+				checkGolden(t, file, findings, wants)
+			}
+			if !sawWant {
+				t.Fatalf("analyzer %s has no violating fixture (no // want comments under %s)", a.Name, dir)
+			}
+		})
+	}
+}
+
+// checkGolden matches findings against expectations bidirectionally.
+func checkGolden(t *testing.T, file string, findings []Finding, wants []expectation) {
+	t.Helper()
+	used := make([]bool, len(findings))
+	for _, w := range wants {
+		matched := false
+		for i, f := range findings {
+			if !used[i] && f.Line == w.line && w.re.MatchString(f.Message) {
+				used[i] = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", file, w.line, w.re)
+		}
+	}
+	for i, f := range findings {
+		if !used[i] {
+			t.Errorf("%s:%d: unexpected finding: %s", file, f.Line, f.Message)
+		}
+	}
+}
+
+// TestGoldenFixturesCoverBothPolarities pins the fixture layout: every
+// check ships at least one clean and one violating fixture.
+func TestGoldenFixturesCoverBothPolarities(t *testing.T) {
+	for _, a := range Analyzers() {
+		dir := filepath.Join("testdata", a.Name)
+		for _, name := range []string{"good.go", "bad.go"} {
+			if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+				t.Errorf("analyzer %s: missing fixture %s: %v", a.Name, name, err)
+			}
+		}
+		if data, err := os.ReadFile(filepath.Join(dir, "good.go")); err == nil {
+			if wantRe.Match(data) {
+				t.Errorf("analyzer %s: good.go must not contain // want comments", a.Name)
+			}
+		}
+	}
+}
+
+// TestIgnoreDirectiveRequiresReason pins the suppression contract: a
+// directive without a reason is inert.
+func TestIgnoreDirectiveRequiresReason(t *testing.T) {
+	pkg, _ := loadFixture(t, filepath.Join("testdata", "nodeterminism", "bad.go"))
+	findings := Run([]*Package{pkg}, []*Analyzer{NoDeterminism})
+	found := false
+	for _, f := range findings {
+		if strings.Contains(f.Message, "map iteration") && f.Line > 25 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("reason-less ignore directive must not suppress the finding")
+	}
+}

@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LeakyGo flags goroutine launches with no visible lifecycle: nothing
+// in the launched body waits on a channel, context, or WaitGroup, and
+// no WaitGroup.Add precedes the launch. Such goroutines cannot be
+// cancelled or joined — exactly the leaks the conformance suite's
+// CheckNoLeak hunts at runtime, caught here at compile time instead.
+var LeakyGo = &Analyzer{
+	Name: "leakygo",
+	Doc:  "every goroutine launch needs a cancellation or join path",
+	Run:  runLeakyGo,
+}
+
+func runLeakyGo(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			list := stmtList(n)
+			if list == nil {
+				return true
+			}
+			for i, stmt := range list {
+				gs, ok := stmt.(*ast.GoStmt)
+				if !ok {
+					continue
+				}
+				if goHasLifecycle(p, gs) || precededByWGAdd(p, list[:i]) {
+					continue
+				}
+				p.Reportf(gs.Pos(),
+					"goroutine has no cancellation or join path (no channel, context, or WaitGroup in its body, no WaitGroup.Add before launch)")
+			}
+			return true
+		})
+	}
+}
+
+// goHasLifecycle reports whether the launched function's body contains
+// lifecycle evidence: a channel operation, a select, a context value,
+// or a WaitGroup method call. For `go f(x)` with a named function the
+// body is not visible, so only the preceding-Add rule can approve it.
+func goHasLifecycle(p *Pass, gs *ast.GoStmt) bool {
+	lit, ok := gs.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := p.TypeOf(x.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "close" {
+				found = true
+			}
+			if isWaitGroupMethod(p, x) {
+				found = true
+			}
+		case *ast.Ident:
+			if t := p.TypeOf(x); t != nil && isContextType(t) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// precededByWGAdd reports whether one of the (up to three) statements
+// directly before the launch calls WaitGroup.Add — the canonical
+// wg.Add(1); go worker() pairing.
+func precededByWGAdd(p *Pass, before []ast.Stmt) bool {
+	for i := len(before) - 1; i >= 0 && i >= len(before)-3; i-- {
+		es, ok := before[i].(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		if call, ok := es.X.(*ast.CallExpr); ok && isWaitGroupMethod(p, call) {
+			return true
+		}
+	}
+	return false
+}
+
+// isWaitGroupMethod reports whether call invokes a method on a
+// sync.WaitGroup value (directly or through a pointer/field chain).
+func isWaitGroupMethod(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	t := p.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}

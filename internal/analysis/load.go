@@ -1,0 +1,281 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader loads and type-checks packages of one module from source,
+// using only the standard library: module-internal imports resolve
+// against the module root, everything else falls back to go/importer's
+// source-mode stdlib importer.
+type Loader struct {
+	// Root is the module root directory (where go.mod lives).
+	Root string
+	// Module is the module path from go.mod.
+	Module string
+
+	fset  *token.FileSet
+	std   types.ImporterFrom
+	cache map[string]*loaded
+}
+
+type loaded struct {
+	pkg *Package
+	err error
+}
+
+// NewLoader creates a loader for the module rooted at dir, reading the
+// module path from dir/go.mod.
+func NewLoader(dir string) (*Loader, error) {
+	mod, err := modulePath(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("analysis: source importer unavailable")
+	}
+	return &Loader{
+		Root:   dir,
+		Module: mod,
+		fset:   fset,
+		std:    std,
+		cache:  map[string]*loaded{},
+	}, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("analysis: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// Match expands command-line patterns into import paths, relative to
+// the module root. Supported forms: "./...", "./dir/...", "./dir", and
+// bare import paths inside the module.
+func (l *Loader) Match(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var paths []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			paths = append(paths, p)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			dirs, err := l.walkPackages(l.Root)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range dirs {
+				add(d)
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := strings.TrimSuffix(pat, "/...")
+			dirs, err := l.walkPackages(filepath.Join(l.Root, base))
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range dirs {
+				add(d)
+			}
+		default:
+			rel := strings.TrimPrefix(pat, "./")
+			rel = strings.TrimPrefix(rel, l.Module+"/")
+			if rel == "." || rel == l.Module {
+				rel = ""
+			}
+			dir := filepath.Join(l.Root, rel)
+			ok, err := hasGoFiles(dir)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+			}
+			add(l.importPathFor(dir))
+		}
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// walkPackages finds every directory under root containing non-test Go
+// files, returning their import paths.
+func (l *Loader) walkPackages(root string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		ok, err := hasGoFiles(path)
+		if err != nil {
+			return err
+		}
+		if ok {
+			out = append(out, l.importPathFor(path))
+		}
+		return nil
+	})
+	return out, err
+}
+
+// importPathFor maps a directory inside the module to its import path.
+func (l *Loader) importPathFor(dir string) string {
+	rel, err := filepath.Rel(l.Root, dir)
+	if err != nil || rel == "." {
+		return l.Module
+	}
+	return l.Module + "/" + filepath.ToSlash(rel)
+}
+
+// hasGoFiles reports whether dir directly contains non-test .go files.
+func hasGoFiles(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() && isSourceFile(e.Name()) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// isSourceFile reports whether name is a non-test Go source file.
+func isSourceFile(name string) bool {
+	return strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, ".") &&
+		!strings.HasPrefix(name, "_")
+}
+
+// Load loads and type-checks the given import paths (module-internal).
+func (l *Loader) Load(paths []string) ([]*Package, error) {
+	var pkgs []*Package
+	for _, p := range paths {
+		pkg, err := l.load(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// load type-checks one module-internal package, memoized.
+func (l *Loader) load(path string) (*Package, error) {
+	if c, ok := l.cache[path]; ok {
+		if c == nil {
+			return nil, fmt.Errorf("analysis: import cycle through %q", path)
+		}
+		return c.pkg, c.err
+	}
+	l.cache[path] = nil // cycle marker
+	pkg, err := l.typeCheck(path)
+	l.cache[path] = &loaded{pkg: pkg, err: err}
+	return pkg, err
+}
+
+// typeCheck parses and checks one package directory.
+func (l *Loader) typeCheck(path string) (*Package, error) {
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.Module), "/")
+	dir := filepath.Join(l.Root, rel)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !isSourceFile(e.Name()) {
+			continue
+		}
+		full := filepath.Join(dir, e.Name())
+		name := full
+		if r, err := filepath.Rel(l.Root, full); err == nil {
+			name = r
+		}
+		src, err := os.ReadFile(full)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		f, err := parser.ParseFile(l.fset, name, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: (*moduleImporter)(l),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, typeErrs[0])
+	}
+	return &Package{
+		Path:  path,
+		Fset:  l.fset,
+		Files: files,
+		Info:  info,
+		Types: tpkg,
+	}, nil
+}
+
+// moduleImporter routes module-internal imports through the Loader and
+// everything else to the stdlib source importer.
+type moduleImporter Loader
+
+// Import implements types.Importer.
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(m)
+	if path == l.Module || strings.HasPrefix(path, l.Module+"/") {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}

@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MutexCopy flags values carrying synchronisation state moved by
+// value: receivers, parameters, and results whose type (transitively)
+// contains a sync lock or a sync/atomic counter, plus explicit
+// dereference copies and by-value range iteration over such elements.
+// A copied lock guards nothing; a copied atomic counter forks its
+// value. go vet's copylocks catches a subset of these; this check also
+// covers the sync/atomic value types the serving metrics rely on.
+var MutexCopy = &Analyzer{
+	Name: "mutexcopy",
+	Doc:  "no by-value copies of types containing sync locks or atomic counters",
+	Run:  runMutexCopy,
+}
+
+func runMutexCopy(p *Pass) {
+	seen := map[types.Type]bool{}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				if x.Recv != nil {
+					checkFieldList(p, seen, x.Recv, "receiver")
+				}
+				checkFieldList(p, seen, x.Type.Params, "parameter")
+				checkFieldList(p, seen, x.Type.Results, "result")
+			case *ast.FuncLit:
+				checkFieldList(p, seen, x.Type.Params, "parameter")
+				checkFieldList(p, seen, x.Type.Results, "result")
+			case *ast.AssignStmt:
+				for _, rhs := range x.Rhs {
+					if star, ok := rhs.(*ast.StarExpr); ok {
+						if t := p.TypeOf(star); t != nil && containsLock(seen, t) {
+							p.Reportf(star.Pos(),
+								"dereference copies %s, which contains synchronisation state; keep a pointer", typeName(t))
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if x.Value != nil {
+					if t := p.TypeOf(x.Value); t != nil && containsLock(seen, t) {
+						p.Reportf(x.Value.Pos(),
+							"range copies elements of %s by value, forking their synchronisation state; iterate by index", typeName(t))
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkFieldList flags non-pointer fields whose type contains a lock.
+func checkFieldList(p *Pass, seen map[types.Type]bool, fl *ast.FieldList, role string) {
+	if fl == nil {
+		return
+	}
+	for _, field := range fl.List {
+		t := p.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			continue
+		}
+		if containsLock(seen, t) {
+			p.Reportf(field.Type.Pos(),
+				"%s passes %s by value, copying its synchronisation state; use a pointer", role, typeName(t))
+		}
+	}
+}
+
+// lockTypes are the sync and sync/atomic types that must never be
+// copied after first use.
+var lockTypes = map[string]map[string]bool{
+	"sync": {
+		"Mutex": true, "RWMutex": true, "WaitGroup": true,
+		"Once": true, "Cond": true, "Map": true, "Pool": true,
+	},
+	"sync/atomic": {
+		"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+		"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+	},
+}
+
+// containsLock reports whether t transitively embeds synchronisation
+// state by value. Pointers, slices, maps, and channels are boundaries:
+// copying the reference is safe.
+func containsLock(seen map[types.Type]bool, t types.Type) bool {
+	if v, ok := seen[t]; ok {
+		return v
+	}
+	seen[t] = false // cycle guard
+	result := false
+	switch x := t.(type) {
+	case *types.Named:
+		obj := x.Obj()
+		if obj.Pkg() != nil {
+			if names, ok := lockTypes[obj.Pkg().Path()]; ok && names[obj.Name()] {
+				result = true
+			}
+		}
+		if !result {
+			result = containsLock(seen, x.Underlying())
+		}
+	case *types.Alias:
+		result = containsLock(seen, types.Unalias(t))
+	case *types.Struct:
+		for i := 0; i < x.NumFields(); i++ {
+			if containsLock(seen, x.Field(i).Type()) {
+				result = true
+				break
+			}
+		}
+	case *types.Array:
+		result = containsLock(seen, x.Elem())
+	}
+	seen[t] = result
+	return result
+}
+
+// typeName renders a readable type name for messages.
+func typeName(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}

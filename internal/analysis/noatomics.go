@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoAtomics enforces paper constraint C1 inside internal/poplar: the
+// IPU has no atomic operations, so nothing in the graph layer may
+// reach for sync/atomic, and codelets — the vertex callbacks with
+// signature func(*Worker) — must be pure tile programs: they may write
+// only through locally bound tensor refs, never to variables captured
+// from graph-construction scope, and they may not spawn goroutines.
+var NoAtomics = &Analyzer{
+	Name: "noatomics",
+	Doc:  "C1: no sync/atomic and no shared mutable captures in poplar codelets",
+	Run:  runNoAtomics,
+}
+
+func runNoAtomics(p *Pass) {
+	if !pkgWithin(p.Pkg.Path, "internal/poplar") {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				if obj := p.Pkg.Info.Uses[x.Sel]; obj != nil && obj.Pkg() != nil &&
+					obj.Pkg().Path() == "sync/atomic" {
+					p.Reportf(x.Pos(),
+						"sync/atomic has no IPU equivalent (C1); restructure so each region has one writer")
+				}
+			case *ast.FuncLit:
+				if isCodelet(p, x) {
+					checkCodeletBody(p, x)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isCodelet reports whether the function literal has the codelet
+// signature func(*Worker) with Worker defined in the analyzed package.
+func isCodelet(p *Pass, lit *ast.FuncLit) bool {
+	sig, ok := p.TypeOf(lit).(*types.Signature)
+	if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 0 {
+		return false
+	}
+	ptr, ok := sig.Params().At(0).Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Worker" && obj.Pkg() != nil && obj.Pkg().Path() == p.Pkg.Path
+}
+
+// checkCodeletBody flags writes to captured variables and goroutine
+// launches inside a codelet. Writes through call results (the
+// ref.Data() idiom, which the engine's race checks cover) are allowed.
+func checkCodeletBody(p *Pass, lit *ast.FuncLit) {
+	report := func(id *ast.Ident) {
+		p.Reportf(id.Pos(),
+			"codelet writes captured variable %q: vertices on different tiles share no memory (C1); write through a declared tensor ref", id.Name)
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if id := rootIdent(lhs); id != nil && capturedVar(p, id, lit) {
+					report(id)
+				}
+			}
+		case *ast.IncDecStmt:
+			if id := rootIdent(x.X); id != nil && capturedVar(p, id, lit) {
+				report(id)
+			}
+		case *ast.GoStmt:
+			p.Reportf(x.Pos(), "codelet launches a goroutine; tile workers are scheduled by the engine (C1)")
+		}
+		return true
+	})
+}
+
+// rootIdent unwraps index/selector/star/paren chains to the base
+// identifier being written, or nil when the base is a call result.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// capturedVar reports whether id resolves to a variable declared
+// outside the literal (a capture from graph-construction scope).
+func capturedVar(p *Pass, id *ast.Ident, lit *ast.FuncLit) bool {
+	if id.Name == "_" {
+		return false
+	}
+	obj, ok := p.Pkg.Info.ObjectOf(id).(*types.Var)
+	if !ok {
+		return false
+	}
+	return obj.Pos() < lit.Pos() || obj.Pos() > lit.End()
+}

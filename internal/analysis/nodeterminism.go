@@ -1,0 +1,214 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// deterministicCore lists the packages whose execution must be
+// bit-reproducible: cycle accounting and BSP pricing (internal/ipu),
+// graph compilation and superstep checkpoint/replay (internal/poplar),
+// fault schedules (internal/faultinject), and the serving layer's
+// routing and bookkeeping (internal/serve). A wall-clock read, a global
+// RNG draw, or an unordered map walk in any of them can make a fault
+// replay or a checkpoint resume diverge from the original run.
+var deterministicCore = []string{
+	"internal/ipu",
+	"internal/poplar",
+	"internal/faultinject",
+	"internal/serve",
+}
+
+// globalRandFuncs are the math/rand package-level functions that read
+// the shared global generator. Methods on an explicitly seeded
+// *rand.Rand are fine and are not flagged.
+var globalRandFuncs = []string{
+	"Int", "Intn", "Int31", "Int31n", "Int63", "Int63n",
+	"Uint32", "Uint64", "Float32", "Float64",
+	"ExpFloat64", "NormFloat64", "Perm", "Shuffle", "Seed", "Read",
+}
+
+// NoDeterminism flags nondeterminism sources in the deterministic-core
+// packages: wall-clock reads (time.Now/Since/Until), global math/rand
+// draws, and iteration over maps. Map loops that only collect keys or
+// values into a slice that a later statement in the same block sorts
+// (the sorted-keys idiom) are recognised and allowed.
+var NoDeterminism = &Analyzer{
+	Name: "nodeterminism",
+	Doc:  "no wall-clock, global RNG, or unordered map iteration in replay-critical packages",
+	Run:  runNoDeterminism,
+}
+
+// pkgWithin reports whether path contains target as a segment-aligned
+// sub-path (e.g. "hunipu/internal/ipu" is within "internal/ipu").
+func pkgWithin(path, target string) bool {
+	for i := strings.Index(path, target); i >= 0; {
+		startOK := i == 0 || path[i-1] == '/'
+		end := i + len(target)
+		endOK := end == len(path) || path[end] == '/'
+		if startOK && endOK {
+			return true
+		}
+		next := strings.Index(path[i+1:], target)
+		if next < 0 {
+			return false
+		}
+		i += 1 + next
+	}
+	return false
+}
+
+func inDeterministicCore(path string) bool {
+	for _, t := range deterministicCore {
+		if pkgWithin(path, t) {
+			return true
+		}
+	}
+	return false
+}
+
+func runNoDeterminism(p *Pass) {
+	if !inDeterministicCore(p.Pkg.Path) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkNondetCall(p, call)
+			}
+			if list := stmtList(n); list != nil {
+				checkMapRanges(p, list)
+			}
+			return true
+		})
+	}
+}
+
+// stmtList extracts the statement list of block-like nodes, so range
+// statements can be judged together with their sibling statements.
+func stmtList(n ast.Node) []ast.Stmt {
+	switch b := n.(type) {
+	case *ast.BlockStmt:
+		return b.List
+	case *ast.CaseClause:
+		return b.Body
+	case *ast.CommClause:
+		return b.Body
+	}
+	return nil
+}
+
+func checkNondetCall(p *Pass, call *ast.CallExpr) {
+	if isPkgCall(p, call, "time", "Now", "Since", "Until") {
+		p.Reportf(call.Pos(), "wall-clock read %s in a deterministic-core package; inject a clock instead",
+			callName(call))
+	}
+	if isPkgCall(p, call, "math/rand", globalRandFuncs...) {
+		p.Reportf(call.Pos(), "global math/rand call %s is unseeded shared state; draw from an explicit *rand.Rand",
+			callName(call))
+	}
+}
+
+func callName(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if x, ok := sel.X.(*ast.Ident); ok {
+			return x.Name + "." + sel.Sel.Name
+		}
+		return sel.Sel.Name
+	}
+	return "call"
+}
+
+// checkMapRanges flags map iterations in a statement list unless they
+// follow the collect-then-sort idiom.
+func checkMapRanges(p *Pass, list []ast.Stmt) {
+	for i, stmt := range list {
+		rs, ok := stmt.(*ast.RangeStmt)
+		if !ok || !isMapType(p.TypeOf(rs.X)) {
+			continue
+		}
+		if collected := collectorTarget(rs); collected != "" && sortedLater(p, list[i+1:], collected) {
+			continue
+		}
+		p.Reportf(rs.Pos(), "map iteration order is nondeterministic; iterate over sorted keys (map %s)",
+			exprString(rs.X))
+	}
+}
+
+// collectorTarget recognises a loop body that only appends the range
+// variables to one slice, returning that slice's identifier name.
+func collectorTarget(rs *ast.RangeStmt) string {
+	if len(rs.Body.List) != 1 {
+		return ""
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 || as.Tok != token.ASSIGN {
+		return ""
+	}
+	lhs, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+		return ""
+	}
+	if len(call.Args) == 0 {
+		return ""
+	}
+	if first, ok := call.Args[0].(*ast.Ident); !ok || first.Name != lhs.Name {
+		return ""
+	}
+	return lhs.Name
+}
+
+// sortedLater reports whether a subsequent sibling statement sorts the
+// named slice via the sort or slices package.
+func sortedLater(p *Pass, rest []ast.Stmt, name string) bool {
+	for _, stmt := range rest {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || (pkg.Name != "sort" && pkg.Name != "slices") {
+				return true
+			}
+			if arg, ok := call.Args[0].(*ast.Ident); ok && arg.Name == name {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// exprString renders a short expression for messages.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.CallExpr:
+		return exprString(x.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	default:
+		return "expression"
+	}
+}

@@ -1,0 +1,29 @@
+//hunipulint:path hunipu/internal/fixture
+
+package fixture
+
+import "context"
+
+// Invent manufactures a context mid-library instead of accepting one.
+func Invent() error {
+	ctx := context.Background() // want "context.Background inside a library function"
+	return run(ctx, 1)
+}
+
+// Ignored accepts a ctx it never consults.
+func Ignored(ctx context.Context, n int) int { // want "context parameter \"ctx\" is accepted but never used"
+	return n
+}
+
+// SolveContext is misnamed: no context parameter leads.
+func SolveContext(n int) int { // want "named \*Context but its first parameter is not a context.Context"
+	return n
+}
+
+func run(ctx context.Context, n int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	_ = n
+	return nil
+}

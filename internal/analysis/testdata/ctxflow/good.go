@@ -1,0 +1,20 @@
+//hunipulint:path hunipu/internal/fixture
+
+package fixture
+
+import "context"
+
+// Solve is the conventional ctx-free wrapper: one forwarding statement.
+func Solve(n int) error { return SolveContext(context.Background(), n) }
+
+// SolveContext leads with the context and consults it.
+func SolveContext(ctx context.Context, n int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	_ = n
+	return nil
+}
+
+// Blank explicitly declines the context.
+func Blank(_ context.Context, n int) int { return n }

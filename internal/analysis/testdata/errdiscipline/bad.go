@@ -1,0 +1,29 @@
+//hunipulint:path hunipu/internal/fixture
+
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBoom = errors.New("boom")
+
+func work() error { return errBoom }
+
+// Compare matches a sentinel with ==, which breaks once anyone wraps.
+func Compare() bool {
+	err := work()
+	return err == errBoom // want "error compared with =="
+}
+
+// Sever formats the cause with %v, cutting the errors.Is chain.
+func Sever() error {
+	err := work()
+	return fmt.Errorf("solve failed: %v", err) // want "without %w"
+}
+
+// Drop discards the only return value, an error.
+func Drop() {
+	work() // want "error that is discarded"
+}

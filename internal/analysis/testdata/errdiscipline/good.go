@@ -1,0 +1,33 @@
+//hunipulint:path hunipu/internal/fixture
+
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+var errBoom = errors.New("boom")
+
+func work() error { return errBoom }
+
+// Handle matches with errors.Is, wraps with %w, and nil-checks freely.
+func Handle() error {
+	err := work()
+	if errors.Is(err, errBoom) {
+		return fmt.Errorf("solve failed: %w", err)
+	}
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// Render uses strings.Builder, whose error results are always nil.
+func Render() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	b.WriteByte(']')
+	return b.String()
+}

@@ -1,0 +1,12 @@
+//hunipulint:path hunipu/internal/fixture
+
+package fixture
+
+// Fire launches a goroutine nothing can cancel or join.
+func Fire() {
+	go func() { // want "goroutine has no cancellation or join path"
+		for i := 0; i < 10; i++ {
+			_ = i
+		}
+	}()
+}

@@ -1,0 +1,30 @@
+//hunipulint:path hunipu/internal/fixture
+
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+// Joined pairs the launch with WaitGroup accounting.
+func Joined(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+// Cancellable watches its context.
+func Cancellable(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// Producer signals completion over a channel.
+func Producer(ch chan int) {
+	go func() {
+		ch <- 1
+	}()
+}

@@ -1,0 +1,36 @@
+//hunipulint:path hunipu/internal/fixture
+
+package fixture
+
+import "sync"
+
+// Guarded carries a lock by value.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// ByValue copies the lock on every call.
+func ByValue(g Guarded) int { // want "parameter passes fixture.Guarded by value"
+	return g.n
+}
+
+// Get copies the lock through its receiver.
+func (g Guarded) Get() int { // want "receiver passes fixture.Guarded by value"
+	return g.n
+}
+
+// Deref forks the lock state explicitly.
+func Deref(p *Guarded) int {
+	g := *p // want "dereference copies fixture.Guarded"
+	return g.n
+}
+
+// Sum copies every element's lock while iterating.
+func Sum(list []Guarded) int {
+	total := 0
+	for _, g := range list { // want "range copies elements of fixture.Guarded"
+		total += g.n
+	}
+	return total
+}

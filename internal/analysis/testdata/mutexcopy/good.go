@@ -1,0 +1,27 @@
+//hunipulint:path hunipu/internal/fixture
+
+package fixture
+
+import "sync"
+
+// Guarded carries a lock by value.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Get reads under the lock through a pointer receiver.
+func (g *Guarded) Get() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// Sum iterates pointers: copying the reference is safe.
+func Sum(list []*Guarded) int {
+	total := 0
+	for _, g := range list {
+		total += g.Get()
+	}
+	return total
+}

@@ -1,0 +1,35 @@
+//hunipulint:path hunipu/internal/poplar/fixture
+
+package fixture
+
+import "sync/atomic"
+
+// Worker mirrors poplar.Worker so func(*Worker) literals are codelets.
+type Worker struct{ cycles int64 }
+
+// Vertex mirrors the poplar vertex carrying a codelet.
+type Vertex struct{ Run func(*Worker) }
+
+// counter has no IPU equivalent.
+var counter atomic.Int64 // want "sync/atomic has no IPU equivalent"
+
+// Capture builds a codelet that mutates graph-construction state.
+func Capture() *Vertex {
+	total := 0
+	v := &Vertex{}
+	v.Run = func(w *Worker) {
+		total++ // want "codelet writes captured variable \"total\""
+	}
+	return v
+}
+
+// Spawn builds a codelet that forks its own concurrency.
+func Spawn(done chan struct{}) *Vertex {
+	v := &Vertex{}
+	v.Run = func(w *Worker) {
+		go func() { // want "codelet launches a goroutine"
+			done <- struct{}{}
+		}()
+	}
+	return v
+}

@@ -1,0 +1,33 @@
+//hunipulint:path hunipu/internal/poplar/fixture
+
+package fixture
+
+// Worker mirrors poplar.Worker so func(*Worker) literals are codelets.
+type Worker struct{ cycles int64 }
+
+// Charge accumulates modeled work.
+func (w *Worker) Charge(n int64) { w.cycles += n }
+
+// Vertex mirrors the poplar vertex carrying a codelet.
+type Vertex struct{ Run func(*Worker) }
+
+// Ref mirrors a tensor slice reference.
+type Ref struct{ data []float64 }
+
+// Data returns the live backing slice.
+func (r Ref) Data() []float64 { return r.data }
+
+// Zero writes only through a declared tensor ref: locals bound inside
+// the codelet, reads of captures, and Worker charging are all legal.
+func Zero(out Ref) *Vertex {
+	scale := 2.0
+	v := &Vertex{}
+	v.Run = func(w *Worker) {
+		d := out.Data()
+		for i := range d {
+			d[i] = 0 * scale
+		}
+		w.Charge(int64(len(d)))
+	}
+	return v
+}

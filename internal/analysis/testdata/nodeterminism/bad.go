@@ -1,0 +1,32 @@
+//hunipulint:path hunipu/internal/ipu/fixture
+
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Keys walks the map in hash order and leaks the order to the caller.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "map iteration order is nondeterministic"
+		out = append(out, k)
+	}
+	return out
+}
+
+// Stamp reads the wall clock and the global RNG.
+func Stamp() time.Time {
+	_ = rand.Intn(10) // want "global math/rand call rand.Intn"
+	return time.Now() // want "wall-clock read time.Now"
+}
+
+// IgnoredWithoutReason shows that a reason-less directive suppresses
+// nothing.
+func IgnoredWithoutReason(m map[string]int) {
+	//hunipulint:ignore nodeterminism
+	for k := range m { // want "map iteration order is nondeterministic"
+		_ = k
+	}
+}

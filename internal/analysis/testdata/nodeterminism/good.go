@@ -1,0 +1,34 @@
+//hunipulint:path hunipu/internal/ipu/fixture
+
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// SortedKeys collects then sorts: the canonical deterministic map walk.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// MaxValue documents an order-independent reduction with a reasoned
+// suppression.
+func MaxValue(m map[int]int64) int64 {
+	var max int64
+	//hunipulint:ignore nodeterminism commutative max reduction; order-independent
+	for _, v := range m {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Draw uses an explicitly seeded generator, not the global one.
+func Draw(r *rand.Rand) int { return r.Intn(4) }

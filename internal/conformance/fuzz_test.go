@@ -64,12 +64,12 @@ func hunipuForFuzz() (*core.Solver, error) {
 // FuzzReadMatrix corpus format.
 func FuzzDifferentialSolve(f *testing.F) {
 	f.Add("2\n1 2\n3 4\n")
-	f.Add("3\n2 2 2\n2 2 2\n2 2 2\n")                  // total tie degeneracy
-	f.Add("3\n1 2 3\n1 2 3\n5 5 5\n")                  // degenerate rows
-	f.Add("4\n1 1 2 2\n2 1 1 2\n2 2 1 1\n1 2 2 1\n")  // many optimal matchings
-	f.Add("2\n1000000000 1\n1 1000000000\n")          // near-inf magnitudes
-	f.Add("3\n5 6 7\n8 9 10\n11 11 11\n")             // rectangular-padding shape
-	f.Add("1\n-7\n")                                  // negative costs
+	f.Add("3\n2 2 2\n2 2 2\n2 2 2\n")                // total tie degeneracy
+	f.Add("3\n1 2 3\n1 2 3\n5 5 5\n")                // degenerate rows
+	f.Add("4\n1 1 2 2\n2 1 1 2\n2 2 1 1\n1 2 2 1\n") // many optimal matchings
+	f.Add("2\n1000000000 1\n1 1000000000\n")         // near-inf magnitudes
+	f.Add("3\n5 6 7\n8 9 10\n11 11 11\n")            // rectangular-padding shape
+	f.Add("1\n-7\n")                                 // negative costs
 	f.Add("5\n3 1 4 1 5\n9 2 6 5 3\n5 8 9 7 9\n3 2 3 8 4\n6 2 6 4 3\n")
 	f.Fuzz(func(t *testing.T, in string) {
 		m, ok := fuzzMatrix(in)

@@ -255,6 +255,7 @@ func (d *Device) Superstep(tileCycles map[int]int64, bytesIn, bytesOut map[int]i
 	d.stats.Supersteps++
 	d.stats.VerticesRun += vertices
 	var maxCompute int64
+	//hunipulint:ignore nodeterminism commutative max reduction; order-independent
 	for _, c := range tileCycles {
 		if c > maxCompute {
 			maxCompute = c
@@ -268,12 +269,14 @@ func (d *Device) Superstep(tileCycles map[int]int64, bytesIn, bytesOut map[int]i
 	// the phase duration is gated by the busiest port in either
 	// direction.
 	var maxBytes, total int64
+	//hunipulint:ignore nodeterminism commutative sum/max reduction; order-independent
 	for _, b := range bytesIn {
 		total += b
 		if b > maxBytes {
 			maxBytes = b
 		}
 	}
+	//hunipulint:ignore nodeterminism commutative max reduction; order-independent
 	for _, b := range bytesOut {
 		if b > maxBytes {
 			maxBytes = b

@@ -2,6 +2,7 @@ package lsap
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"sort"
 )
@@ -29,7 +30,7 @@ func KBest(c *Matrix, k int, solve Solver) ([]*Solution, error) {
 	root := c.Clone()
 	best, err := solve.Solve(root)
 	if err != nil {
-		if err == ErrInfeasible {
+		if errors.Is(err, ErrInfeasible) {
 			return nil, err
 		}
 		return nil, fmt.Errorf("lsap: KBest root solve: %w", err)
@@ -75,7 +76,7 @@ func KBest(c *Matrix, k int, solve Solver) ([]*Solution, error) {
 				continue
 			}
 			sol, err := solve.Solve(child)
-			if err == ErrInfeasible {
+			if errors.Is(err, ErrInfeasible) {
 				continue
 			}
 			if err != nil {

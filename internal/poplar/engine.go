@@ -63,6 +63,7 @@ type Engine struct {
 	maxSteps int64
 
 	compiledCS map[int]bool
+	verified   *VerifyReport
 	profile    map[string]*CSProfile
 	trace      *traceLog
 	scratch    struct {
@@ -102,7 +103,18 @@ func NewEngine(g *Graph, program Program, dev *ipu.Device, opts ...EngineOption)
 	for _, o := range opts {
 		o(e)
 	}
-	// Validate and charge every tensor's memory.
+	if program == nil {
+		return nil, fmt.Errorf("poplar: nil program")
+	}
+	// Ahead-of-run verification: mappings, per-tile memory (C2),
+	// same-superstep hazards (C1), and program reachability — all
+	// proven statically before any cycle is charged.
+	e.verified = Verify(g, program)
+	notifyVerifyObserver(e.verified)
+	if err := e.verified.Err(); err != nil {
+		return nil, err
+	}
+	// Charge every tensor's memory against the live device.
 	for _, t := range g.tensors {
 		if err := t.validateMapping(); err != nil {
 			return nil, err
@@ -113,9 +125,6 @@ func NewEngine(g *Graph, program Program, dev *ipu.Device, opts ...EngineOption)
 			}
 		}
 	}
-	if program == nil {
-		return nil, fmt.Errorf("poplar: nil program")
-	}
 	if err := program.compile(e); err != nil {
 		return nil, err
 	}
@@ -125,6 +134,12 @@ func NewEngine(g *Graph, program Program, dev *ipu.Device, opts ...EngineOption)
 // Device returns the bound device (for stats and modeled time).
 func (e *Engine) Device() *ipu.Device { return e.dev }
 
+// VerifyReport returns the static verification report produced at
+// engine construction. It is always clean (no findings) for a live
+// engine — NewEngine refuses to build otherwise — but its Notes carry
+// the C4 hot-spot flags for inspection.
+func (e *Engine) VerifyReport() *VerifyReport { return e.verified }
+
 // Profile returns the per-compute-set profiles collected so far,
 // sorted by descending compute cycles. Empty without WithProfiling.
 func (e *Engine) Profile() []CSProfile {
@@ -132,7 +147,12 @@ func (e *Engine) Profile() []CSProfile {
 	for _, p := range e.profile {
 		out = append(out, *p)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ComputeCycles > out[j].ComputeCycles })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ComputeCycles != out[j].ComputeCycles {
+			return out[i].ComputeCycles > out[j].ComputeCycles
+		}
+		return out[i].Name < out[j].Name
+	})
 	return out
 }
 
@@ -167,19 +187,10 @@ func (e *Engine) compileComputeSet(cs *ComputeSet) error {
 	cs.byTile = map[int][]*Vertex{}
 	cfg := e.graph.cfg
 
-	// Race detection: per tensor, collect all declared accesses and
-	// reject overlapping intervals from different vertices when at
-	// least one side writes (the IPU has no atomics — C1).
-	perTensor := map[*Tensor][]access{}
-	record := func(vi int, refs []Ref, write bool) error {
-		for _, r := range refs {
-			if r.T == nil {
-				return fmt.Errorf("poplar: compute set %q vertex %d: nil tensor ref", cs.Name, vi)
-			}
-			perTensor[r.T] = append(perTensor[r.T], access{r.Start, r.End, vi, write})
-		}
-		return nil
-	}
+	// Vertex validation and race detection live in Verify (see
+	// verify.go), which NewEngine runs before any compilation; this
+	// pass only keeps the structural checks needed when a compute set
+	// is compiled directly in tests, then builds the schedule.
 	for vi, v := range cs.vertices {
 		if v.Tile < 0 || v.Tile >= cfg.Tiles() {
 			return fmt.Errorf("poplar: compute set %q vertex %d on invalid tile %d", cs.Name, vi, v.Tile)
@@ -187,30 +198,17 @@ func (e *Engine) compileComputeSet(cs *ComputeSet) error {
 		if v.Run == nil {
 			return fmt.Errorf("poplar: compute set %q vertex %d has no codelet", cs.Name, vi)
 		}
-		if err := record(vi, v.reads, false); err != nil {
-			return err
+		for _, r := range v.reads {
+			if r.T == nil {
+				return fmt.Errorf("poplar: compute set %q vertex %d: nil tensor ref", cs.Name, vi)
+			}
 		}
-		if err := record(vi, v.writes, true); err != nil {
-			return err
+		for _, r := range v.writes {
+			if r.T == nil {
+				return fmt.Errorf("poplar: compute set %q vertex %d: nil tensor ref", cs.Name, vi)
+			}
 		}
 		cs.byTile[v.Tile] = append(cs.byTile[v.Tile], v)
-	}
-	for t, accs := range perTensor {
-		sort.Slice(accs, func(i, j int) bool { return accs[i].start < accs[j].start })
-		maxEnd, maxEndIdx := -1, -1
-		for i, a := range accs {
-			if i > 0 && a.start < maxEnd {
-				b := accs[maxEndIdx]
-				if a.vertex != b.vertex && (a.write || b.write) {
-					return fmt.Errorf(
-						"poplar: data race in compute set %q on tensor %q: vertices %d and %d overlap in [%d,%d) (C1: no atomics)",
-						cs.Name, t.Name, b.vertex, a.vertex, a.start, min(a.end, maxEnd))
-				}
-			}
-			if a.end > maxEnd {
-				maxEnd, maxEndIdx = a.end, i
-			}
-		}
 	}
 
 	// Static exchange profile: any declared slice not resident on the
@@ -248,13 +246,35 @@ func (e *Engine) compileComputeSet(cs *ComputeSet) error {
 			})
 		}
 	}
-	for k, tiles := range readers {
+	// Charge multicast reads in a deterministic order: slices sorted by
+	// (tensor, start, end), receiving tiles sorted ascending.
+	keys := make([]sliceKey, 0, len(readers))
+	for k := range readers {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.t.id != b.t.id {
+			return a.t.id < b.t.id
+		}
+		if a.start != b.start {
+			return a.start < b.start
+		}
+		return a.end < b.end
+	})
+	for _, k := range keys {
+		tileSet := readers[k]
+		tiles := make([]int, 0, len(tileSet))
+		for tile := range tileSet {
+			tiles = append(tiles, tile)
+		}
+		sort.Ints(tiles)
 		bytes := int64(k.t.DType.DeviceBytes())
 		k.t.regionsIn(k.start, k.end, func(s, eEnd, homeTile int) {
 			b := int64(eEnd-s) * bytes
 			sent := false
 			crossed := false
-			for tile := range tiles {
+			for _, tile := range tiles {
 				if tile == homeTile {
 					continue
 				}
@@ -338,6 +358,7 @@ func (e *Engine) runComputeSet(cs *ComputeSet) error {
 		}
 		p.Executions++
 		var max int64
+		//hunipulint:ignore nodeterminism commutative max reduction; order-independent
 		for _, t := range tileTime {
 			if t > max {
 				max = t

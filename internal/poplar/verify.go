@@ -1,0 +1,384 @@
+package poplar
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrVerify is the sentinel wrapped by every graph-verification
+// failure; match with errors.Is.
+var ErrVerify = errors.New("poplar: graph verification failed")
+
+// VerifyFinding is one diagnostic from the ahead-of-run verifier.
+// Check names the rule ("mapping", "memory", "race", "vertex",
+// "unreachable", "foreign", "hotspot"); Subject names the tensor,
+// compute set, or tile concerned.
+type VerifyFinding struct {
+	Check   string `json:"check"`
+	Subject string `json:"subject"`
+	Message string `json:"message"`
+}
+
+func (f VerifyFinding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Check, f.Subject, f.Message)
+}
+
+// VerifyReport is the result of statically verifying a graph+program
+// pair. Findings are violations that make the graph unrunnable (the
+// engine refuses to compile); Notes are informational flags — chiefly
+// C4 exchange hot spots — that are legitimate in some graphs (the
+// paper's own broadcasts and probe gathers) but worth surfacing.
+type VerifyReport struct {
+	Findings []VerifyFinding `json:"findings"`
+	Notes    []VerifyFinding `json:"notes"`
+}
+
+// Err returns nil when the report is clean, or an error wrapping
+// ErrVerify that carries the first finding's message.
+func (r *VerifyReport) Err() error {
+	if len(r.Findings) == 0 {
+		return nil
+	}
+	return &VerifyError{Report: r}
+}
+
+// JSON renders the report machine-readably (stable field order,
+// empty slices as []).
+func (r *VerifyReport) JSON() ([]byte, error) {
+	cp := VerifyReport{Findings: r.Findings, Notes: r.Notes}
+	if cp.Findings == nil {
+		cp.Findings = []VerifyFinding{}
+	}
+	if cp.Notes == nil {
+		cp.Notes = []VerifyFinding{}
+	}
+	return json.MarshalIndent(cp, "", "  ")
+}
+
+// VerifyError is the typed error produced when verification finds
+// violations. It wraps ErrVerify and preserves the full report.
+type VerifyError struct {
+	Report *VerifyReport
+}
+
+func (e *VerifyError) Error() string {
+	first := e.Report.Findings[0]
+	if n := len(e.Report.Findings); n > 1 {
+		return fmt.Sprintf("%v: %s (and %d more)", ErrVerify, first, n-1)
+	}
+	return fmt.Sprintf("%v: %s", ErrVerify, first)
+}
+
+func (e *VerifyError) Unwrap() error { return ErrVerify }
+
+// Verify observer: a test hook observing every report the engine
+// produces, regardless of how deep the NewEngine call is buried.
+var (
+	verifyObsMu sync.Mutex
+	verifyObs   func(*VerifyReport)
+)
+
+// SetVerifyObserver installs fn to receive every VerifyReport produced
+// by NewEngine (nil uninstalls). Used by the conformance suite to
+// prove each solver's graph passed verification.
+func SetVerifyObserver(fn func(*VerifyReport)) {
+	verifyObsMu.Lock()
+	verifyObs = fn
+	verifyObsMu.Unlock()
+}
+
+func notifyVerifyObserver(r *VerifyReport) {
+	verifyObsMu.Lock()
+	fn := verifyObs
+	verifyObsMu.Unlock()
+	if fn != nil {
+		fn(r)
+	}
+}
+
+// gatherNoteThreshold is the distinct-remote-tile fan-in above which a
+// single vertex's reads are flagged as a C4 gather hot spot (the
+// DynamicSlice probe pattern: cheap on CPUs, serialised exchange on
+// the IPU's static fabric).
+const gatherNoteThreshold = 8
+
+// Verify statically checks a graph+program pair against the paper's
+// hardware constraints before any compilation or execution:
+//
+//   - mapping: every non-empty tensor is covered exactly once by its
+//     tile mapping (no gaps, no overlaps) — the premise of C4's static
+//     data layout.
+//   - memory: per-tile resident tensor bytes fit Config.TileMemory
+//     (C2). The proof is static: the sum over all mapped regions,
+//     independent of execution order.
+//   - vertex: every vertex sits on a valid tile and has a codelet.
+//   - race: within each compute set, no two vertices touch overlapping
+//     element intervals when at least one writes (C1 — the IPU has no
+//     atomics, so same-superstep write/write and read/write overlap is
+//     a hardware data race).
+//   - foreign: the program references only compute sets and predicate
+//     tensors registered on this graph.
+//
+// Informational notes (never fatal) flag compute sets the program
+// never executes ("unreachable" — legal when a graph is reused with a
+// sub-program, but usually a construction bug) and C4 exchange hot
+// spots: vertices gathering from many remote tiles, the pattern behind
+// DynamicSlice's poor fit on the static exchange fabric.
+func Verify(g *Graph, program Program) *VerifyReport {
+	r := &VerifyReport{}
+	verifyMappings(g, r)
+	verifyMemory(g, r)
+	reached := verifyProgram(g, program, r)
+	for _, cs := range g.computeSets {
+		if reached[cs] {
+			verifyComputeSet(g, cs, r)
+		} else {
+			// A note, not a violation: graphs are legitimately reused
+			// with different programs (e.g. a warm-up subset), so an
+			// unexecuted compute set only *suggests* a construction bug.
+			r.Notes = append(r.Notes, VerifyFinding{
+				Check:   "unreachable",
+				Subject: cs.Name,
+				Message: fmt.Sprintf("compute set %q is declared but never executed by the program", cs.Name),
+			})
+		}
+	}
+	return r
+}
+
+// verifyMappings checks coverage and overlap for every tensor.
+func verifyMappings(g *Graph, r *VerifyReport) {
+	for _, t := range g.tensors {
+		if err := t.validateMapping(); err != nil {
+			r.Findings = append(r.Findings, VerifyFinding{
+				Check:   "mapping",
+				Subject: t.Name,
+				Message: err.Error(),
+			})
+			continue
+		}
+		for _, reg := range t.mapping {
+			if reg.Tile < 0 || reg.Tile >= g.cfg.Tiles() {
+				r.Findings = append(r.Findings, VerifyFinding{
+					Check:   "mapping",
+					Subject: t.Name,
+					Message: fmt.Sprintf("region [%d,%d) mapped to invalid tile %d", reg.Start, reg.End, reg.Tile),
+				})
+			}
+		}
+	}
+}
+
+// verifyMemory proves the C2 budget per tile: the byte total of all
+// regions resident on each tile must fit Config.TileMemory.
+func verifyMemory(g *Graph, r *VerifyReport) {
+	perTile := map[int]int64{}
+	for _, t := range g.tensors {
+		w := int64(t.DType.DeviceBytes())
+		for _, reg := range t.mapping {
+			perTile[reg.Tile] += int64(reg.End-reg.Start) * w
+		}
+	}
+	tiles := make([]int, 0, len(perTile))
+	for tile := range perTile {
+		tiles = append(tiles, tile)
+	}
+	sort.Ints(tiles)
+	for _, tile := range tiles {
+		if used := perTile[tile]; used > int64(g.cfg.TileMemory) {
+			r.Findings = append(r.Findings, VerifyFinding{
+				Check:   "memory",
+				Subject: fmt.Sprintf("tile %d", tile),
+				Message: fmt.Sprintf("tile memory exceeded: %d bytes resident, %d available (C2)", used, g.cfg.TileMemory),
+			})
+		}
+	}
+}
+
+// verifyProgram walks the static control-flow tree, checking that
+// every referenced compute set and predicate belongs to this graph.
+// It returns the set of reachable compute sets.
+func verifyProgram(g *Graph, program Program, r *VerifyReport) map[*ComputeSet]bool {
+	reached := map[*ComputeSet]bool{}
+	ownCS := map[*ComputeSet]bool{}
+	for _, cs := range g.computeSets {
+		ownCS[cs] = true
+	}
+	ownTensor := map[*Tensor]bool{}
+	for _, t := range g.tensors {
+		ownTensor[t] = true
+	}
+	checkPred := func(pred *Tensor, kind string) {
+		if pred == nil {
+			r.Findings = append(r.Findings, VerifyFinding{
+				Check:   "foreign",
+				Subject: kind,
+				Message: kind + " has a nil predicate tensor",
+			})
+			return
+		}
+		if !ownTensor[pred] {
+			r.Findings = append(r.Findings, VerifyFinding{
+				Check:   "foreign",
+				Subject: pred.Name,
+				Message: fmt.Sprintf("%s predicate %q belongs to a different graph", kind, pred.Name),
+			})
+		}
+	}
+	checkRef := func(ref Ref, kind string) {
+		if ref.T == nil {
+			r.Findings = append(r.Findings, VerifyFinding{
+				Check:   "foreign",
+				Subject: kind,
+				Message: kind + " references a nil tensor",
+			})
+			return
+		}
+		if !ownTensor[ref.T] {
+			r.Findings = append(r.Findings, VerifyFinding{
+				Check:   "foreign",
+				Subject: ref.T.Name,
+				Message: fmt.Sprintf("%s references tensor %q from a different graph", kind, ref.T.Name),
+			})
+		}
+	}
+	var walk func(p Program)
+	walk = func(p Program) {
+		switch x := p.(type) {
+		case nil:
+		case *seqProg:
+			for _, q := range x.ps {
+				if q != nil {
+					walk(q)
+				}
+			}
+		case *execProg:
+			if x.cs == nil {
+				r.Findings = append(r.Findings, VerifyFinding{
+					Check:   "foreign",
+					Subject: "Execute",
+					Message: "Execute references a nil compute set",
+				})
+				return
+			}
+			if !ownCS[x.cs] {
+				r.Findings = append(r.Findings, VerifyFinding{
+					Check:   "foreign",
+					Subject: x.cs.Name,
+					Message: fmt.Sprintf("compute set %q belongs to a different graph", x.cs.Name),
+				})
+				return
+			}
+			reached[x.cs] = true
+		case *repeatProg:
+			walk(x.body)
+		case *whileProg:
+			checkPred(x.pred, "RepeatWhileTrue")
+			walk(x.body)
+		case *ifProg:
+			checkPred(x.pred, "If")
+			walk(x.then)
+			if x.els != nil {
+				walk(x.els)
+			}
+		case *copyProg:
+			checkRef(x.src, "Copy source")
+			checkRef(x.dst, "Copy destination")
+		}
+	}
+	walk(program)
+	return reached
+}
+
+// verifyComputeSet checks vertex placement and same-superstep hazards
+// (C1), and emits C4 gather-hot-spot notes.
+func verifyComputeSet(g *Graph, cs *ComputeSet, r *VerifyReport) {
+	perTensor := map[*Tensor][]access{}
+	for vi, v := range cs.vertices {
+		if v.Tile < 0 || v.Tile >= g.cfg.Tiles() {
+			r.Findings = append(r.Findings, VerifyFinding{
+				Check:   "vertex",
+				Subject: cs.Name,
+				Message: fmt.Sprintf("vertex %d placed on invalid tile %d", vi, v.Tile),
+			})
+		}
+		if v.Run == nil {
+			r.Findings = append(r.Findings, VerifyFinding{
+				Check:   "vertex",
+				Subject: cs.Name,
+				Message: fmt.Sprintf("vertex %d has no codelet", vi),
+			})
+		}
+		for _, ref := range v.reads {
+			if ref.T != nil {
+				perTensor[ref.T] = append(perTensor[ref.T], access{ref.Start, ref.End, vi, false})
+			}
+		}
+		for _, ref := range v.writes {
+			if ref.T != nil {
+				perTensor[ref.T] = append(perTensor[ref.T], access{ref.Start, ref.End, vi, true})
+			}
+		}
+		if n := remoteSourceTiles(v); n > gatherNoteThreshold {
+			r.Notes = append(r.Notes, VerifyFinding{
+				Check:   "hotspot",
+				Subject: cs.Name,
+				Message: fmt.Sprintf("vertex %d on tile %d gathers from %d remote tiles; on the static exchange fabric this serialises (C4)", vi, v.Tile, n),
+			})
+		}
+	}
+	// Iterate tensors in creation order so the first hazard reported is
+	// stable across runs.
+	tensors := make([]*Tensor, 0, len(perTensor))
+	for t := range perTensor {
+		tensors = append(tensors, t)
+	}
+	sort.Slice(tensors, func(i, j int) bool { return tensors[i].id < tensors[j].id })
+	for _, t := range tensors {
+		accs := perTensor[t]
+		sort.Slice(accs, func(i, j int) bool { return accs[i].start < accs[j].start })
+		maxEnd, maxEndIdx := -1, -1
+		for i, a := range accs {
+			if i > 0 && a.start < maxEnd {
+				b := accs[maxEndIdx]
+				if a.vertex != b.vertex && (a.write || b.write) {
+					kind := "read/write"
+					if a.write && b.write {
+						kind = "write/write"
+					}
+					r.Findings = append(r.Findings, VerifyFinding{
+						Check:   "race",
+						Subject: cs.Name,
+						Message: fmt.Sprintf("data race in compute set %q on tensor %q: vertices %d and %d %s overlap in [%d,%d) (C1: no atomics)",
+							cs.Name, t.Name, b.vertex, a.vertex, kind, a.start, min(a.end, maxEnd)),
+					})
+					// One hazard per tensor keeps the report readable.
+					break
+				}
+			}
+			if a.end > maxEnd {
+				maxEnd, maxEndIdx = a.end, i
+			}
+		}
+	}
+}
+
+// remoteSourceTiles counts the distinct tiles, other than the vertex's
+// own, that home any element the vertex reads.
+func remoteSourceTiles(v *Vertex) int {
+	seen := map[int]bool{}
+	for _, ref := range v.reads {
+		if ref.T == nil {
+			continue
+		}
+		ref.T.regionsIn(ref.Start, ref.End, func(_, _ int, homeTile int) {
+			if homeTile != v.Tile {
+				seen[homeTile] = true
+			}
+		})
+	}
+	return len(seen)
+}

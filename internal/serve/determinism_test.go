@@ -1,0 +1,44 @@
+package serve
+
+import (
+	"testing"
+
+	"hunipu"
+	"hunipu/internal/faultinject"
+)
+
+// nilInjector is a do-nothing injector for ordering tests.
+type nilInjector struct{}
+
+func (nilInjector) Check(p faultinject.Point) *faultinject.FaultError { return nil }
+
+// TestInjectorOptionOrderDeterministic locks the dispatcher's
+// injector-expansion order: ascending device, identical across runs.
+// Before this helper existed, the dispatcher ranged over the Inject
+// map directly, so the option list (and any debugging of a faulty
+// solve) changed order run to run.
+func TestInjectorOptionOrderDeterministic(t *testing.T) {
+	inject := map[hunipu.Device]faultinject.Injector{
+		hunipu.DeviceCPU: nilInjector{},
+		hunipu.DeviceIPU: nilInjector{},
+		hunipu.DeviceGPU: nilInjector{},
+	}
+	want := []hunipu.Device{hunipu.DeviceIPU, hunipu.DeviceGPU, hunipu.DeviceCPU}
+	for run := 0; run < 20; run++ {
+		got := sortedInjectorDevices(inject)
+		if len(got) != len(want) {
+			t.Fatalf("run %d: %d devices, want %d", run, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("run %d: device order %v, want %v", run, got, want)
+			}
+		}
+	}
+	if opts := injectorOpts(inject); len(opts) != 3 {
+		t.Fatalf("injectorOpts produced %d options, want 3", len(opts))
+	}
+	if opts := injectorOpts(nil); len(opts) != 0 {
+		t.Fatalf("empty inject map must produce no options, got %d", len(opts))
+	}
+}

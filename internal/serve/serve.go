@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -152,6 +153,7 @@ func New(cfg Config) (*Server, error) {
 		breakers: make(map[hunipu.Device]*breaker),
 		model:    newCostModel(cfg.SeedCostPerCell),
 	}
+	//hunipulint:ignore ctxflow server-lifetime root context; Stop calls hardCancel
 	s.hardCtx, s.hardCancel = context.WithCancel(context.Background())
 	for _, d := range cfg.Devices {
 		d := d
@@ -236,7 +238,7 @@ func (s *Server) Submit(ctx context.Context, req Request) (*hunipu.Result, error
 	}
 	n := len(req.Costs)
 	if deadline, ok := ctx.Deadline(); ok {
-		remaining := time.Until(deadline)
+		remaining := deadline.Sub(s.cfg.Now())
 		est, avail := s.cheapestEstimate(n)
 		if !avail {
 			s.metrics.ShedNoDevice.Add(1)
@@ -330,9 +332,7 @@ func (s *Server) process(it *item) {
 	if s.cfg.Retries > 0 {
 		opts = append(opts, hunipu.WithRecovery(s.cfg.Retries, s.cfg.Backoff))
 	}
-	for d, inj := range s.cfg.Inject {
-		opts = append(opts, hunipu.WithInjector(d, inj))
-	}
+	opts = append(opts, injectorOpts(s.cfg.Inject)...)
 	if it.req.Maximize {
 		opts = append(opts, hunipu.Maximize())
 	}
@@ -422,4 +422,27 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-time.After(10 * time.Second):
 		return fmt.Errorf("serve: workers failed to exit after cancellation")
 	}
+}
+
+// injectorOpts expands the per-device injector map into solver options
+// in ascending device order, so the option list — and therefore the
+// solve path taken under fault injection — is identical across runs.
+func injectorOpts(inject map[hunipu.Device]faultinject.Injector) []hunipu.Option {
+	devs := sortedInjectorDevices(inject)
+	opts := make([]hunipu.Option, 0, len(devs))
+	for _, d := range devs {
+		opts = append(opts, hunipu.WithInjector(d, inject[d]))
+	}
+	return opts
+}
+
+// sortedInjectorDevices returns the injector map's keys in ascending
+// device order (the deterministic iteration the dispatcher relies on).
+func sortedInjectorDevices(inject map[hunipu.Device]faultinject.Injector) []hunipu.Device {
+	devs := make([]hunipu.Device, 0, len(inject))
+	for d := range inject {
+		devs = append(devs, d)
+	}
+	sort.Slice(devs, func(i, j int) bool { return devs[i] < devs[j] })
+	return devs
 }
