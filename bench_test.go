@@ -15,6 +15,7 @@ import (
 	"hunipu/internal/fastha"
 	"hunipu/internal/graphalign"
 	"hunipu/internal/lsap"
+	"hunipu/internal/poplar"
 )
 
 func benchConfig() bench.Config {
@@ -148,6 +149,43 @@ func BenchmarkSolverCPUJV(b *testing.B) {
 		if _, err := (cpuhung.JV{}).Solve(m); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkGuardOverhead measures the silent-corruption guard per
+// policy on one 1024×1024 Gaussian workload: wall time and the modeled
+// guard-cycle charge (reported as guard-cycles/op) both order
+// Paranoid > Invariants > Checksums > Off. A full-policy sweep at this
+// size takes a few minutes of simulator time; -short drops to 256×256.
+func BenchmarkGuardOverhead(b *testing.B) {
+	n := 1024
+	if testing.Short() {
+		n = 256
+	}
+	m, err := datasets.Gaussian(n, 500, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, g := range []poplar.GuardPolicy{
+		poplar.GuardOff, poplar.GuardChecksums, poplar.GuardInvariants, poplar.GuardParanoid,
+	} {
+		g := g
+		b.Run(g.String(), func(b *testing.B) {
+			s, err := core.New(core.Options{Guard: g})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var cycles int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := s.SolveDetailed(m)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = r.Stats.GuardCycles
+			}
+			b.ReportMetric(float64(cycles), "guard-cycles/op")
+		})
 	}
 }
 

@@ -9,7 +9,8 @@
 //	GET  /healthz     liveness (200 while the process runs)
 //	GET  /readyz      readiness (503 while draining or when every breaker is open)
 //	GET  /debug/vars  expvar counters (admitted, shed, served per device,
-//	                  breaker states and transitions, queue high-water mark)
+//	                  breaker states and transitions, queue high-water mark,
+//	                  guard trips / attestation failures / rollback epochs)
 //
 // Shedding is typed on the wire: 429 overloaded, 422 deadline too
 // short, 503 draining / no device, 504 deadline expired mid-solve,
@@ -18,6 +19,7 @@
 // Usage:
 //
 //	hunipud -addr :8080 -workers 4 -queue 64 -drain 10s
+//	hunipud -guard invariants                      # arm SDC detection + attestation
 //	hunipud -faults-ipu 'reset every=1 times=40'   # chaos drill
 package main
 
@@ -64,6 +66,7 @@ type flags struct {
 	breakerOpen     time.Duration
 	drain           time.Duration
 	deadline        time.Duration
+	guard           string
 	faultsIPU       string
 	faultsGPU       string
 }
@@ -82,6 +85,7 @@ func parseFlags() *flags {
 	flag.DurationVar(&f.breakerOpen, "breaker-open", 2*time.Second, "open duration before a half-open canary")
 	flag.DurationVar(&f.drain, "drain", 10*time.Second, "drain deadline after SIGTERM")
 	flag.DurationVar(&f.deadline, "deadline", 0, "default per-request deadline when the client sends none (0 = none)")
+	flag.StringVar(&f.guard, "guard", "off", "silent-corruption guard policy on IPU solves: off, checksums, invariants, paranoid")
 	flag.StringVar(&f.faultsIPU, "faults-ipu", "", "shared fault schedule injected on the IPU (chaos drills)")
 	flag.StringVar(&f.faultsGPU, "faults-gpu", "", "shared fault schedule injected on the GPU (chaos drills)")
 	flag.Parse()
@@ -113,12 +117,17 @@ func (f *flags) serverConfig() (serve.Config, error) {
 	if err != nil {
 		return serve.Config{}, err
 	}
+	guard, err := hunipu.ParseGuardPolicy(f.guard)
+	if err != nil {
+		return serve.Config{}, fmt.Errorf("-guard: %w", err)
+	}
 	cfg := serve.Config{
 		Devices:       devices,
 		Workers:       f.workers,
 		QueueDepth:    f.queue,
 		Retries:       f.retries,
 		Backoff:       f.backoff,
+		Guard:         guard,
 		LatencyBudget: f.latencyBudget,
 		Breaker: serve.BreakerConfig{
 			Window:   f.breakerWindow,

@@ -181,10 +181,25 @@ func TestDebugVars(t *testing.T) {
 		t.Fatalf("/debug/vars = %d", resp.StatusCode)
 	}
 	body := string(raw)
-	for _, want := range []string{`"hunipu_serve"`, `"admitted"`, `"breaker_state"`, `"queue_high_water"`} {
+	for _, want := range []string{`"hunipu_serve"`, `"admitted"`, `"breaker_state"`, `"queue_high_water"`, `"guard_trips"`, `"attestation_failures"`, `"rollback_epochs"`} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("/debug/vars missing %s:\n%s", want, body)
 		}
+	}
+}
+
+func TestGuardFlag(t *testing.T) {
+	f := &flags{devices: "ipu,cpu", guard: "invariants"}
+	cfg, err := f.serverConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Guard != hunipu.GuardInvariants {
+		t.Fatalf("Guard = %v, want invariants", cfg.Guard)
+	}
+	f.guard = "bogus"
+	if _, err := f.serverConfig(); err == nil {
+		t.Fatal("-guard bogus accepted")
 	}
 }
 

@@ -68,13 +68,15 @@ type config struct {
 	ipuOpts  core.Options
 	gpuOpts  fastha.Options
 
-	// Reliability knobs; see reliability.go.
+	// Reliability knobs; see reliability.go and guard.go.
 	fallback  []Device
 	fault     *faultinject.Schedule
 	faultErr  error
 	injectors map[Device]faultinject.Injector
 	retries   int
 	backoff   time.Duration
+	guard     GuardPolicy
+	guardSet  bool
 }
 
 // Option configures a Solve or Align call.

@@ -1,0 +1,60 @@
+//hunipulint:path hunipu/internal/fixture2
+
+// The guard layer's whole contract is that *CorruptionError survives
+// wrapping to the caller's errors.As — a %v anywhere on that path
+// silently downgrades a typed detection into an opaque failure, which
+// is exactly the bug class the guard exists to prevent. This fixture
+// models the shape without importing the real faultinject package
+// (fixtures are self-contained single-file packages).
+package fixture2
+
+import (
+	"errors"
+	"fmt"
+)
+
+// CorruptionError mirrors faultinject.CorruptionError: a typed silent-
+// data-corruption report with an Unwrap chain.
+type CorruptionError struct {
+	Guard    string
+	Detected int64
+	Err      error
+}
+
+func (e *CorruptionError) Error() string {
+	return fmt.Sprintf("silent corruption: %s at superstep %d: %v", e.Guard, e.Detected, e.Err)
+}
+
+func (e *CorruptionError) Unwrap() error { return e.Err }
+
+func detect() error {
+	return &CorruptionError{Guard: "attestation", Detected: 42, Err: errors.New("dual infeasible")}
+}
+
+// SeverDetection re-wraps a guard trip with %v, so the caller's
+// errors.As(*CorruptionError) stops matching and a typed detection
+// degrades into an untyped failure.
+func SeverDetection() error {
+	if err := detect(); err != nil {
+		return fmt.Errorf("solve aborted: %v", err) // want "without %w"
+	}
+	return nil
+}
+
+// PropagateDetection keeps the chain intact with %w; errors.As still
+// finds the CorruptionError after any number of such wraps.
+func PropagateDetection() error {
+	if err := detect(); err != nil {
+		return fmt.Errorf("solve aborted: %w", err)
+	}
+	return nil
+}
+
+// ClassifyDetection is the downstream consumer the chain exists for.
+func ClassifyDetection(err error) (string, bool) {
+	var ce *CorruptionError
+	if errors.As(err, &ce) {
+		return ce.Guard, true
+	}
+	return "", false
+}

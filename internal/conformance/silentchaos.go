@@ -1,0 +1,206 @@
+package conformance
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"hunipu/internal/core"
+	"hunipu/internal/cpuhung"
+	"hunipu/internal/faultinject"
+	"hunipu/internal/lsap"
+	"hunipu/internal/poplar"
+)
+
+// SilentChaosEntry is one solver that supports both silent fault
+// injection and the guard layer. Silent chaos is the SDC counterpart
+// of RunChaos: faults corrupt live tensor data without raising any
+// error, so the only defense is algorithm-based fault tolerance —
+// checksums, invariant probes, certified rollback, and output
+// attestation (core.Options.Guard).
+type SilentChaosEntry struct {
+	// Name matches the solver's Name().
+	Name string
+	// New builds a solver wired to the injector and guard policy.
+	New func(inj faultinject.Injector, retries int, guard poplar.GuardPolicy) (lsap.Solver, error)
+}
+
+// SilentChaosRegistry returns every solver with guard support: the
+// HunIPU variants. FastHA and the auction baseline take injectors but
+// have no guard layer, so a silent sweep over them could only prove
+// the attack works, not that the defense does.
+func SilentChaosRegistry() []SilentChaosEntry {
+	return []SilentChaosEntry{
+		{
+			Name: "HunIPU",
+			New: func(inj faultinject.Injector, retries int, guard poplar.GuardPolicy) (lsap.Solver, error) {
+				return core.New(core.Options{
+					Config: smallIPU(), Fault: inj, MaxRetries: retries,
+					Guard: guard, MaxSupersteps: 20000,
+				})
+			},
+		},
+		{
+			Name: "HunIPU-nocompress",
+			New: func(inj faultinject.Injector, retries int, guard poplar.GuardPolicy) (lsap.Solver, error) {
+				return core.New(core.Options{
+					Config: smallIPU(), DisableCompression: true, Fault: inj, MaxRetries: retries,
+					Guard: guard, MaxSupersteps: 20000,
+				})
+			},
+		},
+		{
+			Name: "HunIPU-2D",
+			New: func(inj faultinject.Injector, retries int, guard poplar.GuardPolicy) (lsap.Solver, error) {
+				return core.New(core.Options{
+					Config: smallIPU(), Use2D: true, Fault: inj, MaxRetries: retries,
+					Guard: guard, MaxSupersteps: 20000,
+				})
+			},
+		},
+	}
+}
+
+// SilentChaosConfig parameterises a silent-fault sweep.
+type SilentChaosConfig struct {
+	// Schedules is how many random silent schedules to draw per solver.
+	Schedules int
+	// Sizes are the instance sizes each schedule is run against.
+	Sizes []int
+	// Retries is the recovery budget handed to each solver.
+	Retries int
+	// Guard is the policy armed on every run.
+	Guard poplar.GuardPolicy
+	// Seed makes the sweep reproducible end to end.
+	Seed int64
+	// Tol as in Config.
+	Tol float64
+}
+
+// DefaultSilentChaosConfig meets the acceptance floor: ≥50 seeded
+// silent schedules per solver at GuardInvariants.
+func DefaultSilentChaosConfig() SilentChaosConfig {
+	return SilentChaosConfig{
+		Schedules: 50, Sizes: []int{10}, Retries: 3,
+		Guard: poplar.GuardInvariants, Seed: 2,
+	}
+}
+
+// SilentChaosReport aggregates a silent sweep. The headline invariant
+// (with any guard above Off): Wrong and Untyped stay empty — every run
+// is a certified optimum or a typed *faultinject.CorruptionError /
+// *faultinject.FaultError. With GuardOff, Wrong is the point: it lists
+// runs where a silently corrupted answer reached the caller and only
+// test-side certification caught it.
+type SilentChaosReport struct {
+	Runs int
+	// Clean: no fault fired, certified optimal.
+	Clean int
+	// Survived: faults fired, guard detected and recovery re-executed,
+	// result still certified optimal.
+	Survived int
+	// Corruptions: runs that failed with a typed *CorruptionError.
+	Corruptions int
+	// TypedFaults: runs that failed with a typed *FaultError (silent
+	// classes piggy-backing on transfer retries etc.).
+	TypedFaults int
+	// Detections counts guard trips summed across all runs, and
+	// MaxLatency is the worst observed injection-to-detection distance
+	// in supersteps.
+	Detections int
+	MaxLatency int64
+	// Wrong lists reproducers for runs that returned an uncertified or
+	// non-optimal answer with no error.
+	Wrong []string
+	// Untyped lists reproducers for runs that failed with an untyped
+	// error.
+	Untyped []string
+}
+
+// RunSilentChaos sweeps random silent-fault schedules over every
+// guard-capable solver under cfg.Guard.
+func RunSilentChaos(cfg SilentChaosConfig) (*SilentChaosReport, error) {
+	if cfg.Schedules <= 0 {
+		cfg = DefaultSilentChaosConfig()
+	}
+	tol := cfg.Tol
+	if tol == 0 {
+		tol = 1e-9
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ct := NewCertifier()
+	ct.Tol = tol
+	ref := cpuhung.JV{}
+	report := &SilentChaosReport{}
+
+	type inst struct {
+		m    *lsap.Matrix
+		cost float64
+	}
+	var instances []inst
+	for _, n := range cfg.Sizes {
+		m := genUniform(rand.New(rand.NewSource(rng.Int63())), n)
+		sol, err := ref.Solve(m)
+		if err != nil {
+			return nil, fmt.Errorf("silentchaos: reference solve n=%d: %w", n, err)
+		}
+		if err := ct.Certify(m, sol); err != nil {
+			return nil, fmt.Errorf("silentchaos: reference certificate n=%d: %w", n, err)
+		}
+		instances = append(instances, inst{m: m, cost: sol.Cost})
+	}
+
+	schedules := make([]*faultinject.Schedule, cfg.Schedules)
+	for i := range schedules {
+		schedules[i] = faultinject.RandomSilentSchedule(rng)
+	}
+
+	for _, e := range SilentChaosRegistry() {
+		for _, sched := range schedules {
+			for _, in := range instances {
+				clone := sched.Clone()
+				s, err := e.New(clone, cfg.Retries, cfg.Guard)
+				if err != nil {
+					return nil, fmt.Errorf("silentchaos: %s constructor: %w", e.Name, err)
+				}
+				report.Runs++
+				sol, err := s.Solve(in.m.Clone())
+				repro := func() string {
+					return fmt.Sprintf("%s n=%d guard=%v schedule %q: err=%v",
+						e.Name, in.m.N, cfg.Guard, sched.String(), err)
+				}
+				if err != nil {
+					var ce *faultinject.CorruptionError
+					var fe *faultinject.FaultError
+					switch {
+					case errors.As(err, &ce):
+						report.Corruptions++
+						report.Detections++
+						if ce.Latency > report.MaxLatency {
+							report.MaxLatency = ce.Latency
+						}
+					case errors.As(err, &fe):
+						report.TypedFaults++
+					default:
+						report.Untyped = append(report.Untyped, repro())
+					}
+					continue
+				}
+				if cerr := ct.Certify(in.m, sol); cerr != nil {
+					report.Wrong = append(report.Wrong, repro()+": "+cerr.Error())
+					continue
+				}
+				if diff := sol.Cost - in.cost; diff > tol*(1+in.cost) || diff < -tol*(1+in.cost) {
+					report.Wrong = append(report.Wrong, repro())
+					continue
+				}
+				if clone.Fired() > 0 {
+					report.Survived++
+				} else {
+					report.Clean++
+				}
+			}
+		}
+	}
+	return report, nil
+}

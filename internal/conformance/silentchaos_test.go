@@ -1,0 +1,107 @@
+package conformance
+
+import (
+	"os"
+	"testing"
+
+	"hunipu/internal/poplar"
+)
+
+// silentGuard honours SILENT_GUARD so CI can sweep the silent schedules
+// across every active guard policy. Off is rejected: it would disable
+// the defense under test (the Off control lives in
+// TestSilentChaosGuardOffWrongAnswerEscapes).
+func silentGuard(t *testing.T) poplar.GuardPolicy {
+	t.Helper()
+	v := os.Getenv("SILENT_GUARD")
+	if v == "" {
+		return poplar.GuardInvariants
+	}
+	p, err := poplar.ParseGuardPolicy(v)
+	if err != nil {
+		t.Fatalf("SILENT_GUARD=%q: %v", v, err)
+	}
+	if p == poplar.GuardOff {
+		t.Fatalf("SILENT_GUARD=off disables the defense under test")
+	}
+	return p
+}
+
+// TestSilentChaosInvariantsCertifiedOrTyped is the SDC acceptance
+// sweep: ≥50 seeded silent schedules per guard-capable solver at
+// GuardInvariants (or the SILENT_GUARD policy in CI's matrix), and
+// every single run ends certified-optimal or as a typed error — a
+// silently wrong answer never escapes.
+func TestSilentChaosInvariantsCertifiedOrTyped(t *testing.T) {
+	cfg := DefaultSilentChaosConfig()
+	cfg.Guard = silentGuard(t)
+	cfg.Seed = chaosSeed(t)
+	if cfg.Schedules < 50 {
+		t.Fatalf("config sweeps %d schedules, acceptance floor is 50", cfg.Schedules)
+	}
+	rep, err := RunSilentChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.Schedules * len(cfg.Sizes) * len(SilentChaosRegistry())
+	if rep.Runs != want {
+		t.Fatalf("Runs = %d, want %d", rep.Runs, want)
+	}
+	for _, v := range rep.Wrong {
+		t.Errorf("wrong answer escaped the guard: %s", v)
+	}
+	for _, v := range rep.Untyped {
+		t.Errorf("untyped failure under guard: %s", v)
+	}
+	if rep.Survived+rep.Corruptions == 0 {
+		t.Fatalf("sweep never exercised the guard: %+v", rep)
+	}
+	if rep.Corruptions > 0 && rep.MaxLatency < 0 {
+		t.Fatalf("negative detection latency: %+v", rep)
+	}
+	t.Logf("silent chaos seed=%d guard=%v: %d runs, %d clean, %d survived, %d corruption errors (max latency %d), %d fault errors",
+		cfg.Seed, cfg.Guard, rep.Runs, rep.Clean, rep.Survived, rep.Corruptions, rep.MaxLatency, rep.TypedFaults)
+}
+
+// TestSilentChaosDeterministic: the same seed must replay the exact
+// same silent sweep, or SILENT_GUARD/CHAOS_SEED reproducers are
+// worthless.
+func TestSilentChaosDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("silent chaos replay is covered by the full run")
+	}
+	cfg := SilentChaosConfig{
+		Schedules: 50, Sizes: []int{10}, Retries: 2,
+		Guard: poplar.GuardInvariants, Seed: 42,
+	}
+	a, err := RunSilentChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSilentChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Runs != b.Runs || a.Clean != b.Clean || a.Survived != b.Survived ||
+		a.Corruptions != b.Corruptions || a.TypedFaults != b.TypedFaults {
+		t.Fatalf("same seed, different sweeps: %+v vs %+v", a, b)
+	}
+}
+
+// TestSilentChaosGuardOffWrongAnswerEscapes proves the attack is real:
+// with the guard off, at least one seeded silent schedule yields a
+// wrong answer that only test-side certification catches. This is the
+// control experiment justifying the guard's existence.
+func TestSilentChaosGuardOffWrongAnswerEscapes(t *testing.T) {
+	cfg := DefaultSilentChaosConfig()
+	cfg.Guard = poplar.GuardOff
+	rep, err := RunSilentChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Wrong) == 0 {
+		t.Fatalf("no silent wrong answer escaped with the guard off — the fault classes are not corrupting live state (%+v)", rep)
+	}
+	t.Logf("silent chaos @off: %d/%d runs returned a wrong answer caught only by test-side certification",
+		len(rep.Wrong), rep.Runs)
+}

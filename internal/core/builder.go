@@ -48,6 +48,21 @@ type builder struct {
 	colCover *poplar.Tensor // Int: 1 when column j is covered
 	colMin   *poplar.Tensor // Float: Step-1 column minima
 
+	// Guard-layer tensors (created only when Options.Guard is active, so
+	// the guard-off program shape is byte-identical to before): explicit
+	// LP dual potentials, updated atomically in the same compute sets
+	// that update slack, so slack ≡ input − u − v holds at every
+	// superstep boundary — the ABFT identity the invariant probes check
+	// and the certificate the final attestation verifies.
+	dualU *poplar.Tensor // Float [n], row-aligned: row potentials u
+	dualV *poplar.Tensor // Float [n], column-segmented: column potentials v
+
+	// input is the pristine cost matrix of the current solve (host-side
+	// copy, captured before execution) for guard probes and attestation.
+	input []float64
+	// guardTol is the probe/attestation tolerance for the current solve.
+	guardTol float64
+
 	// Broadcast staging: one n-wide row per row group, so per-row
 	// codelets read column state locally after one exchange.
 	bcast *poplar.Tensor // Float [numBlocks, n]
@@ -164,6 +179,13 @@ func newBuilder(o Options, n int) (*builder, error) {
 	b.colMin = g.AddVariable("col_min", poplar.Float, n)
 	for _, t := range []*poplar.Tensor{b.colStar, b.colCover, b.colMin} {
 		g.MapSegments(t, b.o.ColSegment)
+	}
+
+	if o.Guard != poplar.GuardOff {
+		b.dualU = g.AddVariable("dual_u", poplar.Float, n)
+		b.mapRowAligned(b.dualU, 1)
+		b.dualV = g.AddVariable("dual_v", poplar.Float, n)
+		g.MapSegments(b.dualV, b.o.ColSegment)
 	}
 
 	b.bcast = g.AddVariable("bcast", poplar.Float, b.numBlocks, n)

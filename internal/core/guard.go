@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"hunipu/internal/ipu"
+	"hunipu/internal/lsap"
+	"hunipu/internal/poplar"
+)
+
+// guardArmAfter delays the invariant probes past the program's guard
+// init fills (dual_u, dual_v, cov_sum are zeroed in the first three leaf
+// steps), so a tight verify cadence on a cached engine's second solve
+// never misreads a previous solve's residue as corruption.
+const guardArmAfter = 4
+
+// guardTolerance derives the probe/attestation tolerance for one solve:
+// exact-zero for integer matrices apart from a relative float headroom,
+// widened by the solver's zero tolerance when one is configured.
+func guardTolerance(data []float64, eps float64) float64 {
+	maxAbs := 0.0
+	for _, v := range data {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	tol := 1e-9 * (1 + maxAbs)
+	if 4*eps > tol {
+		tol = 4 * eps
+	}
+	return tol
+}
+
+// registerInvariants installs HunIPU's algorithm-level probes on the
+// engine (DESIGN.md §5d). All three lean on the explicit dual potentials
+// the guard-mode graph maintains in the same compute sets that update
+// the slack matrix:
+//
+//   - dual-identity: slack ≡ input − u − v elementwise, the ABFT
+//     checksum of the algorithm itself. Catches dropped or corrupted
+//     slack/dual updates that byte-level checksums cannot see.
+//   - compress-zeros: the Section IV-B compression tables (zero counts,
+//     and recorded zero positions when compression is on) agree with the
+//     live slack matrix.
+//   - dual-monotone: the dual objective Σu+Σv never decreases once
+//     columns are covered — Step 6 only ever adds a positive Δ.
+//
+// The probes self-gate on cov_sum > 0 where the invariant only holds
+// after the covering phase begins, and return nil when no solve is in
+// flight (b.input empty).
+func (b *builder) registerInvariants(eng *poplar.Engine) {
+	n := b.n
+	slack := b.slack.All()
+	u := b.dualU.All()
+	v := b.dualV.All()
+	cov := b.covSum.All()
+
+	eng.RegisterInvariant(poplar.InvariantProbe{
+		Name:     "dual-identity",
+		Cost:     int64(n) * int64(n),
+		ArmAfter: guardArmAfter,
+		Check: func() error {
+			if len(b.input) != n*n {
+				return nil
+			}
+			tol := b.guardTol
+			ud, vd, sd := u.Data(), v.Data(), slack.Data()
+			for i := 0; i < n; i++ {
+				ui := ud[i]
+				for j := 0; j < n; j++ {
+					want := b.input[i*n+j] - ui - vd[j]
+					if d := sd[i*n+j] - want; d > tol || d < -tol {
+						return fmt.Errorf("core: dual identity violated at (%d,%d): slack %g, input−u−v %g",
+							i, j, sd[i*n+j], want)
+					}
+				}
+			}
+			return nil
+		},
+	})
+
+	zc := b.zeroCount.All()
+	var cmp poplar.Ref
+	if !b.o.DisableCompression {
+		cmp = b.compress.All()
+	}
+	eng.RegisterInvariant(poplar.InvariantProbe{
+		Name:     "compress-zeros",
+		Cost:     int64(n) * int64(n),
+		ArmAfter: guardArmAfter,
+		Check: func() error {
+			if len(b.input) != n*n || cov.Data()[0] <= 0 {
+				return nil // compression tables not established yet
+			}
+			eps := b.o.Epsilon
+			sd, zd := slack.Data(), zc.Data()
+			for i := 0; i < n; i++ {
+				for s := 0; s < b.threads; s++ {
+					lo, hi := b.segCols(s)
+					cnt := int(zd[i*b.threads+s])
+					zeros := 0
+					for j := lo; j < hi; j++ {
+						if isZero(sd[i*n+j], eps) {
+							zeros++
+						}
+					}
+					if zeros != cnt {
+						return fmt.Errorf("core: compression violated: row %d segment %d records %d zeros, slack has %d",
+							i, s, cnt, zeros)
+					}
+					if b.o.DisableCompression {
+						continue
+					}
+					cd := cmp.Data()
+					for k := 0; k < cnt; k++ {
+						j := int(cd[i*n+lo+k])
+						if j < lo || j >= hi || !isZero(sd[i*n+j], eps) {
+							return fmt.Errorf("core: compression violated: row %d segment %d entry %d points at column %d, slack %g",
+								i, s, k, j, sd[i*n+j])
+						}
+					}
+				}
+			}
+			return nil
+		},
+	})
+
+	prevDual := math.Inf(-1)
+	eng.RegisterInvariant(poplar.InvariantProbe{
+		Name:     "dual-monotone",
+		Cost:     2 * int64(n),
+		ArmAfter: guardArmAfter,
+		Reset:    func() { prevDual = math.Inf(-1) },
+		Check: func() error {
+			if len(b.input) != n*n || cov.Data()[0] <= 0 {
+				return nil // duals still settling in Step 1
+			}
+			sum := 0.0
+			for _, x := range u.Data() {
+				sum += x
+			}
+			for _, x := range v.Data() {
+				sum += x
+			}
+			if sum < prevDual-b.guardTol*float64(n) {
+				return fmt.Errorf("core: dual objective regressed: Σu+Σv = %g, was %g", sum, prevDual)
+			}
+			if sum > prevDual {
+				prevDual = sum
+			}
+			return nil
+		},
+	})
+}
+
+// attest certifies the final assignment against the pristine input
+// matrix using the on-device dual potentials: feasibility of (u, v) plus
+// the weak-duality bound prove the matching is minimum-cost without an
+// oracle. Returns the certificate for the caller to attach to the
+// Solution. The verification work is charged to the device cycle model.
+func (b *builder) attest(eng *poplar.Engine, dev *ipu.Device, c *lsap.Matrix, a lsap.Assignment) (*lsap.Potentials, error) {
+	dev.ChargeGuard(2 * int64(b.n) * int64(b.n)) // feasibility + bound scans
+	ud, err := eng.HostRead(b.dualU)
+	if err != nil {
+		return nil, fmt.Errorf("certificate transfer failed: %w", err)
+	}
+	vd, err := eng.HostRead(b.dualV)
+	if err != nil {
+		return nil, fmt.Errorf("certificate transfer failed: %w", err)
+	}
+	p := lsap.Potentials{U: ud, V: vd}
+	tol := b.guardTol * float64(b.n)
+	if err := lsap.VerifyFeasiblePotentials(c, p, tol); err != nil {
+		return nil, err
+	}
+	if err := lsap.VerifyOptimalWithBound(c, a, p, tol); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}

@@ -1,0 +1,268 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"hunipu/internal/cpuhung"
+	"hunipu/internal/faultinject"
+	"hunipu/internal/lsap"
+	"hunipu/internal/poplar"
+)
+
+func guardOptions(g poplar.GuardPolicy) Options {
+	o := testOptions()
+	o.Guard = g
+	return o
+}
+
+// refCost solves m with the JV baseline for an independent optimum.
+func refCost(t *testing.T, m *lsap.Matrix) float64 {
+	t.Helper()
+	ref, err := (cpuhung.JV{}).Solve(m)
+	if err != nil {
+		t.Fatalf("reference solve: %v", err)
+	}
+	return ref.Cost
+}
+
+// TestGuardSolveFaultFreeCertified: guard mode returns the optimum with
+// its own dual certificate attached, charges guard cycles, and records
+// no trips on clean runs.
+func TestGuardSolveFaultFreeCertified(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	s := newSolver(t, guardOptions(poplar.GuardInvariants))
+	for trial := 0; trial < 6; trial++ {
+		n := 4 + rng.Intn(9)
+		m := randomIntMatrix(rng, n, 50)
+		want := refCost(t, m)
+		r, err := s.SolveDetailed(m)
+		if err != nil {
+			t.Fatalf("trial %d n=%d: %v", trial, n, err)
+		}
+		if r.Solution.Cost != want {
+			t.Fatalf("trial %d n=%d: cost = %g, want %g", trial, n, r.Solution.Cost, want)
+		}
+		if r.Solution.Potentials == nil {
+			t.Fatalf("trial %d: guard solve returned no certificate", trial)
+		}
+		if err := lsap.VerifyOptimalWithBound(m, r.Solution.Assignment, *r.Solution.Potentials, 1e-9); err != nil {
+			t.Fatalf("trial %d: solver's own certificate rejected: %v", trial, err)
+		}
+		if r.Stats.GuardCycles <= 0 {
+			t.Fatalf("trial %d: GuardCycles = %d, want > 0", trial, r.Stats.GuardCycles)
+		}
+		if r.Recovery.GuardTrips != 0 || r.Recovery.SilentFaults != 0 {
+			t.Fatalf("trial %d: clean run reported trips=%d silent=%d",
+				trial, r.Recovery.GuardTrips, r.Recovery.SilentFaults)
+		}
+	}
+}
+
+// TestGuardEngineReuseParanoid: repeated solves on the cached engine
+// under the tightest policy and a small checkpoint cadence must not
+// false-trip on the previous solve's residual state (the guard init
+// fills run before any probe arms).
+func TestGuardEngineReuseParanoid(t *testing.T) {
+	o := guardOptions(poplar.GuardParanoid)
+	o.CheckpointEvery = 4
+	o.MaxRetries = 2
+	s := newSolver(t, o)
+	rng := rand.New(rand.NewSource(9))
+	for k := 0; k < 3; k++ {
+		m := randomIntMatrix(rng, 9, 40)
+		want := refCost(t, m)
+		r, err := s.SolveDetailed(m)
+		if err != nil {
+			t.Fatalf("solve %d: %v", k, err)
+		}
+		if r.Solution.Cost != want {
+			t.Fatalf("solve %d: cost = %g, want %g", k, r.Solution.Cost, want)
+		}
+		if r.Recovery.GuardTrips != 0 {
+			t.Fatalf("solve %d: false positive, GuardTrips = %d", k, r.Recovery.GuardTrips)
+		}
+	}
+}
+
+// TestGuardFloatMatrixNoFalseTrips: real-valued costs with an Epsilon
+// tolerance must not trip the probes on floating-point rounding.
+func TestGuardFloatMatrixNoFalseTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	o := guardOptions(poplar.GuardParanoid)
+	o.Epsilon = 1e-9
+	o.CheckpointEvery = 8
+	o.MaxRetries = 1
+	s := newSolver(t, o)
+	n := 10
+	m := lsap.NewMatrix(n)
+	for i := range m.Data {
+		m.Data[i] = rng.Float64()
+	}
+	r, err := s.SolveDetailed(m)
+	if err != nil {
+		t.Fatalf("float guard solve: %v", err)
+	}
+	if r.Recovery.GuardTrips != 0 {
+		t.Fatalf("false positive on float data: GuardTrips = %d", r.Recovery.GuardTrips)
+	}
+	if r.Solution.Potentials == nil {
+		t.Fatal("no certificate")
+	}
+	if err := lsap.VerifyOptimalWithBound(m, r.Solution.Assignment, *r.Solution.Potentials, 1e-6); err != nil {
+		t.Fatalf("certificate rejected: %v", err)
+	}
+}
+
+// TestGuardCyclesOrdering: the modeled guard overhead is strictly
+// ordered Paranoid > Invariants > Checksums > Off (= 0) on one instance.
+func TestGuardCyclesOrdering(t *testing.T) {
+	m := randomIntMatrix(rand.New(rand.NewSource(3)), 12, 30)
+	cycles := make(map[poplar.GuardPolicy]int64)
+	for _, g := range []poplar.GuardPolicy{
+		poplar.GuardOff, poplar.GuardChecksums, poplar.GuardInvariants, poplar.GuardParanoid,
+	} {
+		o := guardOptions(g)
+		o.CheckpointEvery = 16
+		o.MaxRetries = 1
+		s := newSolver(t, o)
+		r, err := s.SolveDetailed(m.Clone())
+		if err != nil {
+			t.Fatalf("guard=%v: %v", g, err)
+		}
+		cycles[g] = r.Stats.GuardCycles
+	}
+	if cycles[poplar.GuardOff] != 0 {
+		t.Fatalf("GuardOff cycles = %d, want 0", cycles[poplar.GuardOff])
+	}
+	if !(cycles[poplar.GuardParanoid] > cycles[poplar.GuardInvariants] &&
+		cycles[poplar.GuardInvariants] > cycles[poplar.GuardChecksums] &&
+		cycles[poplar.GuardChecksums] > 0) {
+		t.Fatalf("guard cycle ordering violated: off=%d sums=%d inv=%d par=%d",
+			cycles[poplar.GuardOff], cycles[poplar.GuardChecksums],
+			cycles[poplar.GuardInvariants], cycles[poplar.GuardParanoid])
+	}
+}
+
+// TestGuardSilentChaosCertifiedOrTyped is the core-layer property test:
+// every seeded silent-fault schedule ends in exactly one of
+// {certified-optimal result, typed *CorruptionError / *FaultError} —
+// never an untyped error, never a wrong answer.
+func TestGuardSilentChaosCertifiedOrTyped(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := randomIntMatrix(rng, 10, 25)
+	want := refCost(t, m)
+	var injected, tripped int
+	for i := 0; i < 30; i++ {
+		sched := faultinject.RandomSilentSchedule(rng)
+		o := guardOptions(poplar.GuardInvariants)
+		o.Fault = sched
+		o.MaxRetries = 3
+		o.MaxSupersteps = 20000
+		s := newSolver(t, o)
+		r, err := s.SolveDetailed(m.Clone())
+		if err != nil {
+			if ce, ok := faultinject.AsCorruption(err); ok {
+				tripped++
+				if ce.Guard == "" || ce.Detected < 0 {
+					t.Fatalf("schedule %q: malformed corruption report %+v", sched, ce)
+				}
+				continue
+			}
+			if _, ok := faultinject.AsFault(err); ok {
+				continue
+			}
+			t.Fatalf("schedule %q: untyped error: %v", sched, err)
+		}
+		if r.Solution.Cost != want {
+			t.Fatalf("schedule %q: wrong answer accepted: cost %g, want %g", sched, r.Solution.Cost, want)
+		}
+		if r.Solution.Potentials == nil {
+			t.Fatalf("schedule %q: result not certified", sched)
+		}
+		if err := lsap.VerifyOptimalWithBound(m, r.Solution.Assignment, *r.Solution.Potentials, 1e-9); err != nil {
+			t.Fatalf("schedule %q: certificate rejected: %v", sched, err)
+		}
+		if r.Recovery.SilentFaults > 0 {
+			injected++
+		}
+		if r.Recovery.GuardTrips > 0 {
+			tripped++
+			if r.Recovery.DetectionLatency < 0 {
+				t.Fatalf("schedule %q: trips without latency: %+v", sched, r.Recovery)
+			}
+		}
+	}
+	if injected+tripped == 0 {
+		t.Fatal("no schedule injected or tripped anything — chaos sweep is vacuous")
+	}
+}
+
+// TestGuardOffSilentWrongAnswerCaught demonstrates the threat model the
+// guard exists for: with GuardOff, at least one seeded silent schedule
+// produces a structurally valid but suboptimal matching that only
+// test-side attestation exposes.
+func TestGuardOffSilentWrongAnswerCaught(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	m := randomIntMatrix(rng, 10, 25)
+	want := refCost(t, m)
+	wrong := 0
+	for i := 0; i < 40 && wrong == 0; i++ {
+		sched := faultinject.RandomSilentSchedule(rng)
+		o := testOptions() // Guard deliberately off
+		o.Fault = sched
+		o.MaxSupersteps = 20000
+		s := newSolver(t, o)
+		sol, err := s.Solve(m.Clone())
+		if err != nil || sched.Fired() == 0 {
+			continue // wedged, faulted, or nothing injected — not this test's case
+		}
+		if sol.Cost > want {
+			wrong++
+		}
+	}
+	if wrong == 0 {
+		t.Fatal("GuardOff never produced a silently wrong answer across the seeded sweep; the guard would have nothing to defend against")
+	}
+}
+
+// TestGuardDetectsPersistentCorruption: a schedule that keeps flipping
+// bits must either be recovered (correct certified result with recorded
+// trips) or surface as a typed corruption error with latency accounting.
+func TestGuardDetectsPersistentCorruption(t *testing.T) {
+	m := randomIntMatrix(rand.New(rand.NewSource(2)), 10, 25)
+	want := refCost(t, m)
+	sched, err := faultinject.ParseSchedule("seed=5; bitflip every=23 times=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := guardOptions(poplar.GuardInvariants)
+	o.Fault = sched
+	o.MaxRetries = 4
+	o.CheckpointEvery = 16
+	o.MaxSupersteps = 50000
+	s := newSolver(t, o)
+	r, err := s.SolveDetailed(m)
+	if err != nil {
+		ce, ok := faultinject.AsCorruption(err)
+		if !ok {
+			t.Fatalf("untyped error: %v", err)
+		}
+		if ce.Detected < 0 || ce.Guard == "" {
+			t.Fatalf("malformed corruption report: %+v", ce)
+		}
+		return
+	}
+	if r.Solution.Cost != want {
+		t.Fatalf("wrong answer accepted: cost %g, want %g", r.Solution.Cost, want)
+	}
+	if r.Recovery.SilentFaults == 0 {
+		t.Fatal("schedule never fired")
+	}
+	if r.Recovery.GuardTrips == 0 {
+		t.Fatal("silent corruption survived without a single guard trip")
+	}
+	if r.Recovery.DetectionLatency < 0 {
+		t.Fatalf("trips recorded but no detection latency: %+v", r.Recovery)
+	}
+}

@@ -23,6 +23,7 @@ import (
 
 	"hunipu/internal/faultinject"
 	"hunipu/internal/ipu"
+	"hunipu/internal/poplar"
 )
 
 // Options configures a HunIPU solver. The zero value selects the
@@ -103,6 +104,15 @@ type Options struct {
 	// RetryBackoff is the initial wait before a retry, doubling per
 	// attempt. 0 retries immediately.
 	RetryBackoff time.Duration
+
+	// Guard selects the silent-corruption defense (see poplar.GuardPolicy):
+	// incremental tensor checksums, algorithm-level invariant probes over
+	// the dual potentials, and mandatory output attestation. Off (the
+	// zero value) adds no overhead and no protection. Any other level
+	// maintains explicit dual-potential tensors, runs the guard at its
+	// cadence, and certifies the final assignment against the original
+	// cost matrix before returning it.
+	Guard poplar.GuardPolicy
 }
 
 // withDefaults resolves zero values.
@@ -139,6 +149,9 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.RetryBackoff < 0 {
 		return o, fmt.Errorf("core: RetryBackoff = %v, want ≥ 0", o.RetryBackoff)
+	}
+	if o.Guard < poplar.GuardOff || o.Guard > poplar.GuardParanoid {
+		return o, fmt.Errorf("core: Guard = %d, want a poplar.GuardPolicy", o.Guard)
 	}
 	return o, nil
 }

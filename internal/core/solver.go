@@ -142,6 +142,9 @@ func (s *Solver) SolveDetailedContext(ctx context.Context, c *lsap.Matrix) (*Res
 		engOpts := []poplar.EngineOption{
 			poplar.WithRetry(s.opts.MaxRetries, s.opts.RetryBackoff),
 		}
+		if s.opts.Guard != poplar.GuardOff {
+			engOpts = append(engOpts, poplar.WithGuard(s.opts.Guard))
+		}
 		if s.opts.CheckpointEvery > 0 {
 			engOpts = append(engOpts, poplar.WithCheckpointEvery(s.opts.CheckpointEvery))
 		}
@@ -162,6 +165,9 @@ func (s *Solver) SolveDetailedContext(ctx context.Context, c *lsap.Matrix) (*Res
 			s.mu.Unlock()
 			return nil, fmt.Errorf("core: graph compilation failed: %w", err)
 		}
+		if s.opts.Guard != poplar.GuardOff {
+			b.registerInvariants(eng)
+		}
 		cc = &compiled{b: b, eng: eng, dev: dev}
 		s.cache[n] = cc
 	}
@@ -176,9 +182,18 @@ func (s *Solver) SolveDetailedContext(ctx context.Context, c *lsap.Matrix) (*Res
 		s.mu.Unlock()
 		return nil, fmt.Errorf("core: input transfer failed: %w", err)
 	}
+	if s.opts.Guard != poplar.GuardOff {
+		// Pristine host-side copy for the invariant probes and the final
+		// attestation; must be in place before execution starts.
+		b.input = append(b.input[:0], c.Data...)
+		b.guardTol = guardTolerance(c.Data, s.opts.Epsilon)
+	}
 	if err := eng.RunContext(ctx); err != nil {
 		s.cache[n] = nil // state may be inconsistent after a failure
 		s.mu.Unlock()
+		if ce, ok := faultinject.AsCorruption(err); ok {
+			return nil, ce
+		}
 		if fe, ok := faultinject.AsFault(err); ok {
 			return nil, fe
 		}
@@ -189,7 +204,12 @@ func (s *Solver) SolveDetailedContext(ctx context.Context, c *lsap.Matrix) (*Res
 	}
 	defer s.mu.Unlock()
 	if b.pathErr.ScalarValue() != 0 {
-		return nil, fmt.Errorf("core: internal invariant violated during path augmentation")
+		err := fmt.Errorf("core: internal invariant violated during path augmentation")
+		if s.opts.Guard != poplar.GuardOff {
+			s.cache[n] = nil
+			return nil, eng.NewCorruptionError("structural:path", err)
+		}
+		return nil, err
 	}
 
 	stars, err := eng.HostRead(b.rowStar)
@@ -201,15 +221,33 @@ func (s *Solver) SolveDetailedContext(ctx context.Context, c *lsap.Matrix) (*Res
 		a[i] = int(v)
 	}
 	if err := a.Validate(n); err != nil {
-		return nil, fmt.Errorf("core: produced invalid matching: %w", err)
+		err = fmt.Errorf("core: produced invalid matching: %w", err)
+		if s.opts.Guard != poplar.GuardOff {
+			s.cache[n] = nil
+			return nil, eng.NewCorruptionError("structural:matching", err)
+		}
+		return nil, err
 	}
 	if s.opts.CheckInvariants {
 		if err := b.checkInvariants(a); err != nil {
 			return nil, err
 		}
 	}
+	// Mandatory output attestation (guard mode): certify the matching
+	// against the pristine input with the dual potentials before it can
+	// be returned — a wrong answer becomes a typed *CorruptionError, not
+	// a silent result.
+	var pots *lsap.Potentials
+	if s.opts.Guard != poplar.GuardOff {
+		p, err := b.attest(eng, dev, c, a)
+		if err != nil {
+			s.cache[n] = nil
+			return nil, eng.NewCorruptionError("attestation", fmt.Errorf("core: output attestation failed: %w", err))
+		}
+		pots = p
+	}
 	res := &Result{
-		Solution:     &lsap.Solution{Assignment: a, Cost: a.Cost(c)},
+		Solution:     &lsap.Solution{Assignment: a, Cost: a.Cost(c), Potentials: pots},
 		Stats:        dev.Stats(),
 		Modeled:      dev.ModeledTime(),
 		MaxTileBytes: dev.MaxAllocated(),

@@ -40,10 +40,11 @@ func randomIntMatrix(rng *rand.Rand, n, hi int) *lsap.Matrix {
 	return m
 }
 
-// certifyOptimal proves sol is optimal for m from LP duals: HunIPU does
-// not maintain potentials, so feasible duals are borrowed from JV and
-// the weak-duality bound certifies sol's matching independently of
-// JV's own (possibly tie-differing) matching.
+// certifyOptimal proves sol is optimal for m from LP duals: unguarded
+// HunIPU does not surface potentials (only guarded solves attest with
+// their own device-side duals, see guard.go), so feasible duals are
+// borrowed from JV and the weak-duality bound certifies sol's matching
+// independently of JV's own (possibly tie-differing) matching.
 func certifyOptimal(t *testing.T, m *lsap.Matrix, sol *lsap.Solution) {
 	t.Helper()
 	ref, err := (cpuhung.JV{}).Solve(m)

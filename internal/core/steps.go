@@ -18,7 +18,19 @@ import (
 //	    Step 3
 func (b *builder) buildProgram() poplar.Program {
 	g := b.g
+	// Guard mode resets the dual potentials (and cov_sum, which gates the
+	// probes) before anything else, so a cached engine's second solve
+	// never exposes stale guard state to an early verify.
+	var guardInit poplar.Program
+	if b.o.Guard != poplar.GuardOff {
+		guardInit = poplar.Sequence(
+			poplar.Fill(g, b.dualU, 0, "init_dual_u"),
+			poplar.Fill(g, b.dualV, 0, "init_dual_v"),
+			poplar.Fill(g, b.covSum, 0, "init_cov_sum"),
+		)
+	}
 	init := poplar.Sequence(
+		guardInit,
 		poplar.Fill(g, b.rowStar, -1, "init_row_star"),
 		poplar.Fill(g, b.colStar, -1, "init_col_star"),
 		poplar.Fill(g, b.rowPrime, -1, "init_row_prime"),
@@ -82,6 +94,18 @@ func (b *builder) buildStep1() poplar.Program {
 			}).Reads(m, seg).Writes(seg)
 		}
 	}
+	// Guard: u_i takes the row minimum in the same superstep the row is
+	// reduced, keeping slack ≡ input − u − v at the boundary.
+	if b.o.Guard != poplar.GuardOff {
+		for i := 0; i < n; i++ {
+			m := b.rowMin.Index(i)
+			u := b.dualU.Index(i)
+			subRow.AddVertex(b.rowTile(i), func(w *poplar.Worker) {
+				u.Data()[0] = m.Data()[0]
+				w.Charge(2)
+			}).Reads(m).Writes(u)
+		}
+	}
 
 	// Column minima: per-group partials, then per-column-segment reduce.
 	colPart := g.AddComputeSet("s1_colpart")
@@ -143,6 +167,18 @@ func (b *builder) buildStep1() poplar.Program {
 				}
 				w.ChargeVec(int64(len(d)))
 			}).Reads(mins, seg).Writes(seg)
+		}
+	}
+	// Guard: v_j takes the column minimum in the same superstep it is
+	// subtracted from the slack columns.
+	if b.o.Guard != poplar.GuardOff {
+		for _, r := range b.colMin.MappingRegions() {
+			in := b.colMin.Slice(r.Start, r.End)
+			out := b.dualV.Slice(r.Start, r.End)
+			subCol.AddVertex(r.Tile, func(w *poplar.Worker) {
+				copy(out.Data(), in.Data())
+				w.ChargeVec(int64(in.Len()))
+			}).Reads(in).Writes(out)
 		}
 	}
 
@@ -750,6 +786,48 @@ func (b *builder) buildStep6() poplar.Program {
 			if !b.o.DisableCompression {
 				v.Writes(cseg)
 			}
+		}
+	}
+
+	// Guard: the classical dual update rides in the same compute set as
+	// the slack update — u_i += Δ for uncovered rows, v_j −= Δ for
+	// covered columns — with the identical skip condition, so the ABFT
+	// identity slack ≡ input − u − v holds at every superstep boundary
+	// and the dual objective Σu+Σv stays monotone.
+	if b.o.Guard != poplar.GuardOff {
+		eps := b.o.Epsilon
+		for i := 0; i < n; i++ {
+			rcov := b.rowCover.Index(i)
+			u := b.dualU.Index(i)
+			update.AddVertex(b.rowTile(i), func(w *poplar.Worker) {
+				delta := minRef.Data()[0]
+				if math.IsInf(delta, 1) || delta <= eps {
+					w.Charge(1)
+					return
+				}
+				if rcov.Data()[0] == 0 {
+					u.Data()[0] += delta
+				}
+				w.Charge(2)
+			}).Reads(minRef, rcov).Writes(u)
+		}
+		for _, r := range b.colCover.MappingRegions() {
+			cov := b.colCover.Slice(r.Start, r.End)
+			vseg := b.dualV.Slice(r.Start, r.End)
+			update.AddVertex(r.Tile, func(w *poplar.Worker) {
+				delta := minRef.Data()[0]
+				if math.IsInf(delta, 1) || delta <= eps {
+					w.Charge(1)
+					return
+				}
+				d := vseg.Data()
+				for k, c := range cov.Data() {
+					if c != 0 {
+						d[k] -= delta
+					}
+				}
+				w.ChargeVec(int64(vseg.Len()))
+			}).Reads(minRef, cov).Writes(vseg)
 		}
 	}
 

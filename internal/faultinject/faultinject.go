@@ -40,31 +40,82 @@ const (
 	// HostTransferStall is a stalled or timed-out host↔device transfer.
 	// Transient: the transfer can simply be retried.
 	HostTransferStall
+	// SilentTileBitflip flips data in tile SRAM in place. No error is
+	// returned at the injection point: the corruption is visible only to
+	// a guard layer (checksums, algorithm invariants) or to final output
+	// attestation.
+	SilentTileBitflip
+	// SilentExchangeBitflip corrupts an exchange payload in flight
+	// *after* any sender-side integrity data was computed, modeling an
+	// undetected fabric bit flip. Silent: no error at the point.
+	SilentExchangeBitflip
+	// SilentStaleRead models a tile reading a stale copy of remote data:
+	// the superstep's writes are silently dropped while its cost is still
+	// charged. Checksum-invisible (no bytes change); only algorithm
+	// invariants or attestation can catch it.
+	SilentStaleRead
 
 	numClasses
 )
 
+// classNames, classTransient and classSilent are indexed by Class so
+// that adding a class without extending them fails to compile (the
+// array literals below are exactly numClasses long) — see also the
+// exhaustiveness pin at the bottom of this block.
+var classNames = [numClasses]string{
+	ExchangeCorruption:    "exchange",
+	TileMemoryPressure:    "memory",
+	DeviceReset:           "reset",
+	HostTransferStall:     "stall",
+	SilentTileBitflip:     "bitflip",
+	SilentExchangeBitflip: "exbitflip",
+	SilentStaleRead:       "stale",
+}
+
+var classTransient = [numClasses]bool{
+	ExchangeCorruption:    true,
+	TileMemoryPressure:    false,
+	DeviceReset:           false,
+	HostTransferStall:     true,
+	SilentTileBitflip:     true,
+	SilentExchangeBitflip: true,
+	SilentStaleRead:       true,
+}
+
+var classSilent = [numClasses]bool{
+	SilentTileBitflip:     true,
+	SilentExchangeBitflip: true,
+	SilentStaleRead:       true,
+}
+
+// Compile-time exhaustiveness pin: bump the constant when (and only
+// when) a new Class is added, after extending the tables above and
+// Rule.appliesTo. TestClassExhaustiveness enforces the rest.
+var _ = [1]struct{}{}[numClasses-7]
+
 // String implements fmt.Stringer using the spec-grammar keywords.
 func (c Class) String() string {
-	switch c {
-	case ExchangeCorruption:
-		return "exchange"
-	case TileMemoryPressure:
-		return "memory"
-	case DeviceReset:
-		return "reset"
-	case HostTransferStall:
-		return "stall"
-	default:
-		return fmt.Sprintf("class(%d)", int(c))
+	if c >= 0 && c < numClasses {
+		return classNames[c]
 	}
+	return fmt.Sprintf("class(%d)", int(c))
 }
 
 // Transient reports whether faults of this class are retryable: the
 // device survives and execution can resume from a checkpoint. Fatal
-// classes require a new device (or a fallback to another one).
+// classes require a new device (or a fallback to another one). All
+// silent classes are transient — once detected, re-execution from a
+// clean checkpoint is the recovery path.
 func (c Class) Transient() bool {
-	return c == ExchangeCorruption || c == HostTransferStall
+	return c >= 0 && c < numClasses && classTransient[c]
+}
+
+// Silent reports whether faults of this class corrupt state without
+// surfacing an error at the injection point. Silent faults are only
+// observable through the guard layer (checksums, invariant probes) or
+// final output attestation.
+func (c Class) Silent() bool {
+	return c >= 0 && c < numClasses && classSilent[c]
 }
 
 // Kind identifies the kind of execution point a fault check guards.
@@ -136,6 +187,10 @@ func (e *FaultError) Error() string {
 // Transient reports whether the fault is retryable (see Class.Transient).
 func (e *FaultError) Transient() bool { return e.Class.Transient() }
 
+// Silent reports whether the fault corrupted state without an error at
+// the injection point (see Class.Silent).
+func (e *FaultError) Silent() bool { return e.Class.Silent() }
+
 // AsFault unwraps err to its injected fault, if any.
 func AsFault(err error) (*FaultError, bool) {
 	var fe *FaultError
@@ -158,4 +213,47 @@ func IsTransient(err error) bool {
 type Injector interface {
 	// Check returns the fault to inject at p, or nil.
 	Check(p Point) *FaultError
+}
+
+// CorruptionError is the typed error surfaced when the guard layer
+// detects silent data corruption (a checksum mismatch, a violated
+// algorithm invariant, a failed output attestation) that recovery could
+// not repair. Like FaultError it is the contract with callers: under
+// silent-fault chaos every solve must end in a certified-optimal
+// solution or an error matchable to this type — never a silently wrong
+// assignment.
+type CorruptionError struct {
+	// Guard names the detector that tripped: "checksum:<tensor>", an
+	// invariant probe name, "attestation", or "watchdog".
+	Guard string
+	// Detected is the superstep count at which the guard tripped.
+	Detected int64
+	// Injected is the superstep of the earliest undetected silent
+	// injection pending at detection time (-1 if unknown).
+	Injected int64
+	// Latency is Detected − Injected in supersteps (-1 if unknown).
+	Latency int64
+	// PoisonedEpochs counts checkpoint epochs discarded as corrupted
+	// during certified rollback.
+	PoisonedEpochs int
+	// Err is the underlying detector report.
+	Err error
+}
+
+// Error implements error.
+func (e *CorruptionError) Error() string {
+	return fmt.Sprintf("faultinject: silent corruption detected by %s at superstep %d (latency %d supersteps, %d poisoned epochs): %v",
+		e.Guard, e.Detected, e.Latency, e.PoisonedEpochs, e.Err)
+}
+
+// Unwrap exposes the underlying detector report to errors.Is/As.
+func (e *CorruptionError) Unwrap() error { return e.Err }
+
+// AsCorruption unwraps err to its corruption report, if any.
+func AsCorruption(err error) (*CorruptionError, bool) {
+	var ce *CorruptionError
+	if errors.As(err, &ce) {
+		return ce, true
+	}
+	return nil, false
 }

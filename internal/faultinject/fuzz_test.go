@@ -23,6 +23,15 @@ func FuzzParseSchedule(f *testing.F) {
 		"exchange phase=[",
 		"seed=1; seed=2",
 		"exchange at=1 at=2",
+		"bitflip",
+		"exbitflip",
+		"stale",
+		"seed=9; guard=invariants; bitflip every=6 p=0.5 times=2",
+		"guard=paranoid; stale at=12 phase=s4_*",
+		"guard=off; exbitflip every=3 times=1",
+		"guard=bogus",
+		"guard=checksums; guard=off",
+		"guard=invariants extra=1",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -40,7 +49,7 @@ func FuzzParseSchedule(f *testing.F) {
 		if s2.String() != canon {
 			t.Fatalf("String not idempotent: %q -> %q", canon, s2.String())
 		}
-		if s2.Seed != s.Seed || len(s2.Rules) != len(s.Rules) {
+		if s2.Seed != s.Seed || s2.Guard != s.Guard || len(s2.Rules) != len(s.Rules) {
 			t.Fatalf("round trip changed schedule: %q vs %q", spec, canon)
 		}
 		for ri := range s.Rules {

@@ -38,7 +38,7 @@ type Rule struct {
 // appliesTo reports whether the rule's class instruments point kind k.
 func (r Rule) appliesTo(k Kind) bool {
 	switch r.Class {
-	case ExchangeCorruption, DeviceReset:
+	case ExchangeCorruption, DeviceReset, SilentTileBitflip, SilentExchangeBitflip, SilentStaleRead:
 		return k == KindSuperstep
 	case TileMemoryPressure:
 		return k == KindSuperstep || k == KindAlloc
@@ -57,10 +57,29 @@ type Schedule struct {
 	Seed int64
 	// Rules are consulted in order; the first match fires.
 	Rules []Rule
+	// Guard optionally names the guard policy a chaos harness should run
+	// this schedule under ("off", "checksums", "invariants", "paranoid";
+	// "" = unspecified). It does not affect injection — it rides along in
+	// the spec so one string replays both the faults and the defense.
+	Guard string
 
 	mu    sync.Mutex
 	fired []int64
 	total int64
+}
+
+// GuardPolicyNames are the guard-policy tokens the spec grammar
+// accepts in a guard= clause, in increasing strictness order.
+var GuardPolicyNames = []string{"off", "checksums", "invariants", "paranoid"}
+
+// ValidGuardPolicy reports whether name is a known guard-policy token.
+func ValidGuardPolicy(name string) bool {
+	for _, n := range GuardPolicyNames {
+		if n == name {
+			return true
+		}
+	}
+	return false
 }
 
 // NewSchedule builds a schedule from explicit rules.
@@ -77,7 +96,7 @@ func (s *Schedule) Clone() *Schedule {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return &Schedule{Seed: s.Seed, Rules: append([]Rule(nil), s.Rules...)}
+	return &Schedule{Seed: s.Seed, Rules: append([]Rule(nil), s.Rules...), Guard: s.Guard}
 }
 
 // Fired returns how many faults the schedule has injected so far.
@@ -165,6 +184,9 @@ func coin(seed, rule int64, p Point) float64 {
 func (s *Schedule) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "seed=%d", s.Seed)
+	if s.Guard != "" {
+		fmt.Fprintf(&b, "; guard=%s", s.Guard)
+	}
 	for _, r := range s.Rules {
 		b.WriteString("; ")
 		b.WriteString(r.Class.String())
@@ -200,16 +222,18 @@ func (s *Schedule) String() string {
 // ParseSchedule parses the fault-schedule spec grammar:
 //
 //	spec   := clause (';' clause)*
-//	clause := "seed=" int | rule
+//	clause := "seed=" int | "guard=" policy | rule
 //	rule   := class field*
-//	class  := "exchange" | "memory" | "reset" | "stall"
+//	class  := "exchange" | "memory" | "reset" | "stall" |
+//	          "bitflip" | "exbitflip" | "stale"
+//	policy := "off" | "checksums" | "invariants" | "paranoid"
 //	field  := "at=" int | "after=" int | "every=" int |
 //	          "p=" float | "phase=" glob | "times=" int
 //
 // Fields within a rule are whitespace-separated and may appear at most
 // once. Example:
 //
-//	"seed=7; exchange every=40 p=0.5; reset at=900 phase=s6_*"
+//	"seed=7; guard=invariants; bitflip every=40 p=0.5; reset at=900 phase=s6_*"
 //
 // An empty spec (or one containing only a seed) is valid and injects
 // nothing. Unset times resolves to 1 for one-shot rules and unlimited
@@ -238,6 +262,20 @@ func ParseSchedule(spec string) (*Schedule, error) {
 			seenSeed = true
 			continue
 		}
+		if v, ok := strings.CutPrefix(fields[0], "guard="); ok {
+			if len(fields) != 1 {
+				return nil, fmt.Errorf("faultinject: clause %d: guard takes no extra fields", ci)
+			}
+			if s.Guard != "" {
+				return nil, fmt.Errorf("faultinject: clause %d: duplicate guard", ci)
+			}
+			if !ValidGuardPolicy(v) {
+				return nil, fmt.Errorf("faultinject: clause %d: unknown guard policy %q (want %s)",
+					ci, v, strings.Join(GuardPolicyNames, "|"))
+			}
+			s.Guard = v
+			continue
+		}
 		r, err := parseRule(fields)
 		if err != nil {
 			return nil, fmt.Errorf("faultinject: clause %d: %w", ci, err)
@@ -254,7 +292,11 @@ func parseClass(word string) (Class, error) {
 			return c, nil
 		}
 	}
-	return 0, fmt.Errorf("unknown fault class %q (want exchange|memory|reset|stall)", word)
+	names := make([]string, numClasses)
+	for c := Class(0); c < numClasses; c++ {
+		names[c] = c.String()
+	}
+	return 0, fmt.Errorf("unknown fault class %q (want %s)", word, strings.Join(names, "|"))
 }
 
 // parseRule parses one whitespace-split rule clause.
@@ -339,10 +381,15 @@ func parseRule(fields []string) (Rule, error) {
 // biases toward schedules that actually fire at small solve sizes.
 func RandomSchedule(rng *rand.Rand) *Schedule {
 	s := &Schedule{Seed: rng.Int63n(1 << 20)}
+	// Announced classes only: silent classes raise no error, so an
+	// unbounded silent storm would wedge a guard-less solver forever
+	// (use RandomSilentSchedule + a guard for those). The explicit list
+	// also keeps pre-existing replays byte-identical as classes grow.
+	classes := []Class{ExchangeCorruption, TileMemoryPressure, DeviceReset, HostTransferStall}
 	phases := []string{"", "", "s1_*", "s4_*", "s6_*", "compress", "copy:*", "host:*", "*"}
 	nRules := 1 + rng.Intn(3)
 	for i := 0; i < nRules; i++ {
-		r := Rule{Class: Class(rng.Intn(int(numClasses))), At: -1, Times: 1}
+		r := Rule{Class: classes[rng.Intn(len(classes))], At: -1, Times: 1}
 		switch rng.Intn(3) {
 		case 0:
 			r.At = int64(rng.Intn(60))
@@ -361,6 +408,35 @@ func RandomSchedule(rng *rand.Rand) *Schedule {
 		if r.Class.Transient() && r.Times < 0 && rng.Intn(2) == 0 {
 			// Keep some transient storms bounded so recovery can win.
 			r.Times = int64(1 + rng.Intn(2))
+		}
+		r.Phase = phases[rng.Intn(len(phases))]
+		s.Rules = append(s.Rules, r)
+	}
+	return s
+}
+
+// RandomSilentSchedule draws a schedule of silent fault classes only
+// (bitflip, exbitflip, stale) for SDC chaos sweeps. Kept separate from
+// RandomSchedule so existing chaos replays stay byte-identical. Fires
+// are bounded (no unlimited storms): the interesting question for
+// silent faults is detection, not survival of an endless barrage.
+func RandomSilentSchedule(rng *rand.Rand) *Schedule {
+	s := &Schedule{Seed: rng.Int63n(1 << 20)}
+	classes := []Class{SilentTileBitflip, SilentExchangeBitflip, SilentStaleRead}
+	phases := []string{"", "", "s1_*", "s4_*", "s6_*", "compress", "copy:*", "*"}
+	nRules := 1 + rng.Intn(2)
+	for i := 0; i < nRules; i++ {
+		r := Rule{Class: classes[rng.Intn(len(classes))], At: -1, Times: 1}
+		switch rng.Intn(3) {
+		case 0:
+			r.At = int64(rng.Intn(60))
+		case 1:
+			r.Every = int64(1 + rng.Intn(8))
+			r.Times = int64(1 + rng.Intn(3))
+		default:
+			r.Every = int64(1 + rng.Intn(4))
+			r.Prob = []float64{0.25, 0.5, 0.75}[rng.Intn(3)]
+			r.Times = int64(1 + rng.Intn(3))
 		}
 		r.Phase = phases[rng.Intn(len(phases))]
 		s.Rules = append(s.Rules, r)

@@ -1,0 +1,174 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestClassExhaustiveness enforces, together with the compile-time pin
+// on numClasses in faultinject.go, that every Class has a distinct
+// grammar keyword, parses back to itself, and has explicit Transient
+// and Silent entries. Adding a class without updating the tables fails
+// either the compile (array length) or this test (name coverage).
+func TestClassExhaustiveness(t *testing.T) {
+	seen := map[string]Class{}
+	for c := Class(0); c < numClasses; c++ {
+		name := c.String()
+		if name == "" || strings.HasPrefix(name, "class(") {
+			t.Errorf("class %d has no grammar keyword", int(c))
+			continue
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("classes %d and %d share keyword %q", int(prev), int(c), name)
+		}
+		seen[name] = c
+		got, err := parseClass(name)
+		if err != nil || got != c {
+			t.Errorf("parseClass(%q) = %v, %v; want %v", name, got, err, c)
+		}
+		// Silent corruption is always recoverable by re-execution from a
+		// clean checkpoint, so every silent class must be transient.
+		if c.Silent() && !c.Transient() {
+			t.Errorf("class %v is silent but not transient", c)
+		}
+		// Every class must instrument at least one point kind.
+		r := Rule{Class: c}
+		any := false
+		for _, k := range []Kind{KindSuperstep, KindHostWrite, KindHostRead, KindAlloc} {
+			if r.appliesTo(k) {
+				any = true
+			}
+		}
+		if !any {
+			t.Errorf("class %v applies to no point kind", c)
+		}
+	}
+	// Out-of-range classes degrade safely.
+	if Class(numClasses).Transient() || Class(numClasses).Silent() {
+		t.Error("out-of-range class must be neither transient nor silent")
+	}
+	if got := Class(-1).String(); got != "class(-1)" {
+		t.Errorf("Class(-1).String() = %q", got)
+	}
+}
+
+// TestSilentClassSemantics pins the silent axis: exactly the three SDC
+// classes are silent, and legacy classes keep their announced behavior.
+func TestSilentClassSemantics(t *testing.T) {
+	wantSilent := map[Class]bool{
+		ExchangeCorruption:    false,
+		TileMemoryPressure:    false,
+		DeviceReset:           false,
+		HostTransferStall:     false,
+		SilentTileBitflip:     true,
+		SilentExchangeBitflip: true,
+		SilentStaleRead:       true,
+	}
+	if len(wantSilent) != int(numClasses) {
+		t.Fatalf("test table covers %d classes, have %d", len(wantSilent), numClasses)
+	}
+	for c, want := range wantSilent {
+		if c.Silent() != want {
+			t.Errorf("%v.Silent() = %v, want %v", c, c.Silent(), want)
+		}
+		fe := &FaultError{Class: c}
+		if fe.Silent() != want {
+			t.Errorf("FaultError{%v}.Silent() = %v, want %v", c, fe.Silent(), want)
+		}
+	}
+}
+
+// TestGuardClause pins guard= parsing, canonical rendering, and Clone.
+func TestGuardClause(t *testing.T) {
+	s, err := ParseSchedule("seed=3; guard=invariants; bitflip at=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Guard != "invariants" {
+		t.Fatalf("Guard = %q, want invariants", s.Guard)
+	}
+	canon := s.String()
+	if want := "seed=3; guard=invariants; bitflip at=5"; canon != want {
+		t.Fatalf("String() = %q, want %q", canon, want)
+	}
+	if c := s.Clone(); c.Guard != "invariants" {
+		t.Fatalf("Clone dropped Guard: %q", c.Guard)
+	}
+	for _, bad := range []string{"guard=bogus", "guard=invariants; guard=off", "guard=off extra=1"} {
+		if _, err := ParseSchedule(bad); err == nil {
+			t.Errorf("ParseSchedule(%q) accepted", bad)
+		}
+	}
+	for _, name := range GuardPolicyNames {
+		if _, err := ParseSchedule("guard=" + name); err != nil {
+			t.Errorf("ParseSchedule(guard=%s): %v", name, err)
+		}
+	}
+}
+
+// TestSilentRuleFires checks silent classes fire at supersteps only and
+// surface as silent transient faults.
+func TestSilentRuleFires(t *testing.T) {
+	s := NewSchedule(1, Rule{Class: SilentTileBitflip, At: 4, Times: 1})
+	if fe := s.Check(Point{Superstep: 4, Phase: "host:write", Kind: KindHostWrite}); fe != nil {
+		t.Fatalf("silent class fired at host point: %v", fe)
+	}
+	fe := s.Check(Point{Superstep: 4, Phase: "s1_subrow", Kind: KindSuperstep})
+	if fe == nil {
+		t.Fatal("silent rule did not fire at its superstep")
+	}
+	if !fe.Silent() || !fe.Transient() {
+		t.Fatalf("silent fault flags wrong: silent=%v transient=%v", fe.Silent(), fe.Transient())
+	}
+}
+
+// TestRandomSilentSchedule checks the silent generator emits only
+// silent classes, bounded fires, and round-trippable specs.
+func TestRandomSilentSchedule(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		s := RandomSilentSchedule(rng)
+		if len(s.Rules) == 0 {
+			t.Fatal("empty silent schedule")
+		}
+		for _, r := range s.Rules {
+			if !r.Class.Silent() {
+				t.Fatalf("non-silent class %v in silent schedule", r.Class)
+			}
+			if r.Times < 1 {
+				t.Fatalf("unbounded silent rule: %+v", r)
+			}
+		}
+		s2, err := ParseSchedule(s.String())
+		if err != nil || s2.String() != s.String() {
+			t.Fatalf("silent schedule does not round-trip: %q (%v)", s.String(), err)
+		}
+	}
+}
+
+// TestCorruptionError pins the typed-error contract: AsCorruption sees
+// through %w wrapping, and the chain exposes the detector report.
+func TestCorruptionError(t *testing.T) {
+	inner := errors.New("checksum mismatch on tensor slack")
+	ce := &CorruptionError{Guard: "checksum:slack", Detected: 40, Injected: 32, Latency: 8, PoisonedEpochs: 1, Err: inner}
+	wrapped := fmt.Errorf("solve failed: %w", ce)
+	got, ok := AsCorruption(wrapped)
+	if !ok || got != ce {
+		t.Fatalf("AsCorruption failed through wrapping: %v %v", got, ok)
+	}
+	if !errors.Is(wrapped, inner) {
+		t.Fatal("CorruptionError does not unwrap to detector report")
+	}
+	if _, ok := AsCorruption(errors.New("plain")); ok {
+		t.Fatal("AsCorruption matched a plain error")
+	}
+	msg := ce.Error()
+	for _, want := range []string{"checksum:slack", "superstep 40", "latency 8", "1 poisoned"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error message %q missing %q", msg, want)
+		}
+	}
+}

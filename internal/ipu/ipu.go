@@ -145,11 +145,15 @@ type Stats struct {
 	ExchangeCycles int64
 	BytesExchanged int64
 	VerticesRun    int64
+	// GuardCycles prices the silent-corruption guard layer (checksum
+	// maintenance and verification, invariant probes) so its overhead is
+	// visible in the model rather than free. Zero with GuardPolicy off.
+	GuardCycles int64
 }
 
 // TotalCycles is the modeled end-to-end cycle count.
 func (s Stats) TotalCycles() int64 {
-	return s.ComputeCycles + s.SyncCycles + s.ExchangeCycles
+	return s.ComputeCycles + s.SyncCycles + s.ExchangeCycles + s.GuardCycles
 }
 
 // Device is a simulated IPU system: it owns per-tile memory accounting
@@ -297,6 +301,15 @@ func (d *Device) Superstep(tileCycles map[int]int64, bytesIn, bytesOut map[int]i
 // predicate checks, which on hardware cost a sync but no exchange).
 func (d *Device) ChargeSync() {
 	d.stats.SyncCycles += d.cfg.SyncCycles
+}
+
+// ChargeGuard prices n cycles of guard-layer work (checksum updates,
+// full verifies, invariant probes). Kept separate from compute cycles
+// so reports can expose the detection/throughput trade-off directly.
+func (d *Device) ChargeGuard(n int64) {
+	if n > 0 {
+		d.stats.GuardCycles += n
+	}
 }
 
 // TileTime models the barrel-pipeline thread scheduler of one tile:

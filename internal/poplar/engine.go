@@ -81,8 +81,16 @@ type Engine struct {
 	replayDecIdx int
 	replaySkip   int64
 	replaying    bool
-	cp           *checkpoint
+	cps          []*checkpoint // ring, oldest first (see guardRingSize)
+	cpSpare      *checkpoint   // evicted snapshot recycled for buffers
 	report       RunReport
+
+	// Guard state (see guard.go).
+	guard        GuardPolicy
+	probes       []InvariantProbe
+	sums         []uint64 // per-tensor incremental checksums
+	pendingSince int64    // earliest undetected silent injection (-1: none)
+	silentSeen   int      // silent injections applied this run
 }
 
 // NewEngine compiles the graph and program against the device.
@@ -162,7 +170,7 @@ func (e *Engine) Run() error { return e.RunContext(context.Background()) }
 
 func (e *Engine) checkBudget() error {
 	if e.dev.Stats().Supersteps > e.maxSteps {
-		return fmt.Errorf("poplar: exceeded %d supersteps; non-terminating program?", e.maxSteps)
+		return fmt.Errorf("poplar: exceeded %d supersteps; non-terminating program? %w", e.maxSteps, errBudget)
 	}
 	return nil
 }

@@ -58,7 +58,8 @@ func (p *execProg) exec(e *Engine) error {
 	if err := e.interrupted(); err != nil {
 		return err
 	}
-	if fe := e.dev.CheckFault(p.cs.Name, faultinject.KindSuperstep); fe != nil {
+	fe := e.dev.CheckFault(p.cs.Name, faultinject.KindSuperstep)
+	if fe != nil && !fe.Silent() {
 		var writes []Ref
 		for _, v := range p.cs.vertices {
 			writes = append(writes, v.writes...)
@@ -66,11 +67,36 @@ func (p *execProg) exec(e *Engine) error {
 		e.applyFaultEffect(fe, writes)
 		return fe
 	}
+	var reads, writes []Ref
+	if fe != nil || e.guard != GuardOff {
+		for _, v := range p.cs.vertices {
+			reads = append(reads, v.reads...)
+			writes = append(writes, v.writes...)
+		}
+	}
+	if fe != nil && e.applySilentFault(fe, reads, writes) {
+		// Stale read: the step's writes are silently dropped, but the
+		// superstep still costs its exchange and sync. No checksum
+		// maintenance runs — no bytes changed, so the guard's checksums
+		// stay consistent by construction; only invariant probes or final
+		// attestation can see the missing update.
+		e.dev.Superstep(nil, p.cs.exchIn, p.cs.exchOut, p.cs.crossBytes, int64(len(p.cs.vertices)))
+		if err := e.checkBudget(); err != nil {
+			return err
+		}
+		return e.afterStep()
+	}
+	e.guardPreStep(writes)
 	if err := e.runComputeSet(p.cs); err != nil {
 		return err
 	}
-	e.afterStep()
-	return nil
+	e.guardPostStep(writes)
+	if fe != nil {
+		// In-fabric flip after the sender-side checksum update: only a
+		// full verify can catch it.
+		e.applyLateSilentFault(fe, writes)
+	}
+	return e.afterStep()
 }
 
 // Repeat runs the body a compile-time-fixed number of times.
@@ -251,15 +277,28 @@ func (p *copyProg) exec(e *Engine) error {
 	if err := e.interrupted(); err != nil {
 		return err
 	}
-	if fe := e.dev.CheckFault("copy:"+p.dst.T.Name, faultinject.KindSuperstep); fe != nil {
+	fe := e.dev.CheckFault("copy:"+p.dst.T.Name, faultinject.KindSuperstep)
+	if fe != nil && !fe.Silent() {
 		e.applyFaultEffect(fe, []Ref{p.dst})
 		return fe
 	}
+	if fe != nil && e.applySilentFault(fe, []Ref{p.src}, []Ref{p.dst}) {
+		// Stale read: the copy silently does not land; cost still accrues.
+		e.dev.Superstep(nil, p.in, p.out, p.cross, 0)
+		if err := e.checkBudget(); err != nil {
+			return err
+		}
+		return e.afterStep()
+	}
+	e.guardPreStep([]Ref{p.dst})
 	copy(p.dst.Data(), p.src.Data())
+	e.guardPostStep([]Ref{p.dst})
+	if fe != nil {
+		e.applyLateSilentFault(fe, []Ref{p.dst})
+	}
 	e.dev.Superstep(nil, p.in, p.out, p.cross, 0)
 	if err := e.checkBudget(); err != nil {
 		return err
 	}
-	e.afterStep()
-	return nil
+	return e.afterStep()
 }

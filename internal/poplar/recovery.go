@@ -2,6 +2,7 @@ package poplar
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -48,6 +49,18 @@ type RunReport struct {
 	CheckpointsSaved int
 	// CheckpointsRestored counts resumes from a snapshot.
 	CheckpointsRestored int
+	// GuardTrips counts silent-corruption detections (checksum
+	// mismatches, invariant probe failures) by the guard layer.
+	GuardTrips int
+	// SilentFaults counts silent injections applied to live state.
+	SilentFaults int
+	// RollbackEpochs counts checkpoint epochs discarded as poisoned
+	// during certified rollback.
+	RollbackEpochs int
+	// DetectionLatency is the worst observed gap, in supersteps, between
+	// a silent injection and the guard trip that caught it (0 when no
+	// trip occurred).
+	DetectionLatency int64
 }
 
 // Report returns the recovery report accumulated since the engine was
@@ -70,13 +83,24 @@ type checkpoint struct {
 	decisions int
 }
 
-// saveCheckpoint snapshots all tensor state at the current position,
-// reusing the previous snapshot's buffers.
+// saveCheckpoint snapshots all tensor state at the current position
+// into the checkpoint ring (capacity guardRingSize, oldest evicted),
+// recycling the evicted snapshot's buffers. Keeping a ring rather than
+// a single snapshot is what makes certified rollback possible: when a
+// guard trip reveals that recent epochs are poisoned, recovery can
+// reach back past them.
 func (e *Engine) saveCheckpoint() {
-	cp := e.cp
+	var cp *checkpoint
+	if len(e.cps) >= guardRingSize {
+		cp = e.cps[0]
+		copy(e.cps, e.cps[1:])
+		e.cps = e.cps[:len(e.cps)-1]
+	} else if e.cpSpare != nil {
+		cp = e.cpSpare
+		e.cpSpare = nil
+	}
 	if cp == nil || len(cp.data) != len(e.graph.tensors) {
 		cp = &checkpoint{data: make([][]float64, len(e.graph.tensors))}
-		e.cp = cp
 	}
 	for i, t := range e.graph.tensors {
 		if cap(cp.data[i]) < len(t.data) {
@@ -87,10 +111,11 @@ func (e *Engine) saveCheckpoint() {
 	}
 	cp.steps = e.steps
 	cp.decisions = len(e.decisions)
+	e.cps = append(e.cps, cp)
 	e.report.CheckpointsSaved++
 }
 
-// restoreCheckpoint rewinds tensor state to the last snapshot and arms
+// restoreCheckpoint rewinds tensor state to the given snapshot and arms
 // replay mode. Execution re-walks the program tree from the root:
 // leaf steps are skipped (not executed, not charged) and control-flow
 // decisions are consumed from the truncated log instead of being
@@ -99,8 +124,7 @@ func (e *Engine) saveCheckpoint() {
 // deliberately NOT restored: retried work costs modeled time, and the
 // monotone superstep clock keeps one-shot fault rules from refiring on
 // the replayed prefix.
-func (e *Engine) restoreCheckpoint() {
-	cp := e.cp
+func (e *Engine) restoreCheckpoint(cp *checkpoint) {
 	for i, t := range e.graph.tensors {
 		copy(t.data, cp.data[i])
 	}
@@ -146,13 +170,23 @@ func (e *Engine) recordDecision(branch bool) {
 	}
 }
 
-// afterStep advances the live step counter and takes a checkpoint on
-// cadence.
-func (e *Engine) afterStep() {
+// afterStep advances the live step counter, verifies the guard on its
+// cadence, and takes a checkpoint on the checkpoint cadence. The guard
+// runs first so a snapshot is only taken from state the guard just
+// vouched for: a detectable corruption can never be saved into an
+// epoch (only probe-invisible corruption can poison one, which is what
+// rollback validation is for).
+func (e *Engine) afterStep() error {
 	e.steps++
+	if c := e.guardCadence(); c > 0 && e.steps%c == 0 {
+		if err := e.guardVerify(); err != nil {
+			return err
+		}
+	}
 	if e.cpLive > 0 && e.steps%e.cpLive == 0 {
 		e.saveCheckpoint()
 	}
+	return nil
 }
 
 // interrupted reports a context cancellation or deadline expiry. It is
@@ -197,34 +231,32 @@ func (e *Engine) applyFaultEffect(fe *faultinject.FaultError, writes []Ref) {
 // injection, and — when retries are configured or the device has an
 // injector — superstep checkpointing and transient-fault recovery.
 // Fatal faults (memory pressure, device reset) and exhausted retries
-// surface as the typed *faultinject.FaultError; cancellation surfaces
-// as ctx.Err().
+// surface as the typed *faultinject.FaultError; guard detections that
+// recovery could not repair surface as *faultinject.CorruptionError;
+// cancellation surfaces as ctx.Err().
 func (e *Engine) RunContext(ctx context.Context) error {
 	e.ctx = ctx
 	e.decisions = e.decisions[:0]
 	e.steps = 0
 	e.replaying = false
-	e.cp = nil
-	defer func() { e.cp = nil }() // snapshots are per-run; don't pin them
+	e.cps = e.cps[:0]
+	e.cpSpare = nil
+	e.pendingSince = -1
+	e.silentSeen = 0
+	defer func() { e.cps, e.cpSpare = nil, nil }() // snapshots are per-run; don't pin them
 
 	e.cpLive = e.cpEvery
 	if e.cpLive == 0 && (e.retries > 0 || e.dev.Injector() != nil) {
 		e.cpLive = DefaultCheckpointEvery
 	}
+	e.initGuard()
+	e.resetProbes()
 	if e.cpLive > 0 {
 		e.saveCheckpoint() // checkpoint 0: the initial state
 	}
 
 	backoff := e.backoff
-	for attempt := 0; ; attempt++ {
-		err := e.program.exec(e)
-		if err == nil {
-			return nil
-		}
-		if !faultinject.IsTransient(err) || attempt >= e.retries || e.cp == nil {
-			return err
-		}
-		e.report.Retries++
+	wait := func() error {
 		if backoff > 0 {
 			t := time.NewTimer(backoff)
 			select {
@@ -235,7 +267,51 @@ func (e *Engine) RunContext(ctx context.Context) error {
 			}
 			backoff *= 2
 		}
-		e.restoreCheckpoint()
+		return nil
+	}
+	for attempt := 0; ; attempt++ {
+		err := e.program.exec(e)
+		if err == nil && e.guard != GuardOff {
+			// Tail verify: corruption after the last cadence boundary must
+			// not ride out on a "clean" completion.
+			err = e.guardVerify()
+		}
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, errBudget) && e.guard != GuardOff && e.silentSeen > 0 {
+			// A wedged loop with silent injections pending is most likely a
+			// corrupted control predicate. The superstep clock is monotone
+			// across restores, so re-execution cannot fit in the exhausted
+			// budget: surface the typed corruption verdict directly.
+			e.report.GuardTrips++
+			return e.NewCorruptionError("watchdog", err)
+		}
+		if ce, ok := faultinject.AsCorruption(err); ok {
+			if attempt >= e.retries || len(e.cps) == 0 {
+				return err
+			}
+			e.report.Retries++
+			if werr := wait(); werr != nil {
+				return werr
+			}
+			// Certified rollback: discard poisoned epochs, resume from the
+			// newest one that still validates.
+			if rbErr := e.rollbackPastPoison(ce); rbErr != nil {
+				return rbErr
+			}
+			continue
+		}
+		if !faultinject.IsTransient(err) || attempt >= e.retries || len(e.cps) == 0 {
+			return err
+		}
+		e.report.Retries++
+		if werr := wait(); werr != nil {
+			return werr
+		}
+		e.restoreCheckpoint(e.cps[len(e.cps)-1])
+		e.rebaselineChecksums()
+		e.resetProbes()
 	}
 }
 

@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"context"
+	"testing"
+
+	"hunipu"
+	"hunipu/internal/faultinject"
+)
+
+// guardVars extracts the guard counter subtree from Vars.
+func guardVars(t *testing.T, s *Server) map[string]int64 {
+	t.Helper()
+	g, ok := s.Vars()["guard"].(map[string]int64)
+	if !ok {
+		t.Fatalf("Vars()[guard] missing or mistyped: %#v", s.Vars()["guard"])
+	}
+	return g
+}
+
+// TestServeGuardCountersZeroFaultFree: arming the guard on a healthy
+// server costs cycles but never telemetry — all three guard counters
+// stay at zero across fault-free load, and every answer is served from
+// the guarded IPU.
+func TestServeGuardCountersZeroFaultFree(t *testing.T) {
+	s := newTestServer(t, Config{
+		Workers: 2,
+		Guard:   hunipu.GuardInvariants,
+	})
+	costs := testCosts(12, 55)
+	clean, err := hunipu.Solve(costs, hunipu.OnCPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		res, err := s.Submit(context.Background(), Request{Costs: costs})
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if res.Cost != clean.Cost {
+			t.Fatalf("request %d: cost = %g, want %g", i, res.Cost, clean.Cost)
+		}
+		if res.Device != hunipu.DeviceIPU {
+			t.Fatalf("request %d: served by %v, want IPU", i, res.Device)
+		}
+		if gc := res.Report.Attempts[0].GuardCycles; gc <= 0 {
+			t.Fatalf("request %d: GuardCycles = %d, want > 0 (Config.Guard not applied?)", i, gc)
+		}
+	}
+	for k, v := range guardVars(t, s) {
+		if v != 0 {
+			t.Fatalf("guard counter %s = %d under fault-free load, want 0", k, v)
+		}
+	}
+}
+
+// TestServeGuardSilentChaosCountersMonotone: a shared silent-bitflip
+// schedule poisons the IPU's live tensors across requests. No client
+// may ever see a wrong answer — every response is either certified
+// correct or a typed corruption/fault error — the guard counters only
+// ever rise, and the storm leaves a nonzero trip count behind. Once
+// the fault budget drains the counters freeze.
+func TestServeGuardSilentChaosCountersMonotone(t *testing.T) {
+	sched := faultinject.NewSchedule(9, faultinject.Rule{
+		Class: faultinject.SilentTileBitflip,
+		At:    -1, After: 10, Every: 1, Times: 6, Phase: "s1_*",
+	})
+	s := newTestServer(t, Config{
+		Workers: 1,
+		Retries: 3,
+		Guard:   hunipu.GuardInvariants,
+		Inject:  map[hunipu.Device]faultinject.Injector{hunipu.DeviceIPU: sched},
+	})
+	costs := testCosts(12, 60)
+	clean, err := hunipu.Solve(costs, hunipu.OnCPU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := map[string]int64{}
+	for i := 0; i < 6; i++ {
+		res, err := s.Submit(context.Background(), Request{Costs: costs})
+		switch {
+		case err == nil:
+			if res.Cost != clean.Cost {
+				t.Fatalf("request %d: silent corruption reached a client: cost %g, want %g", i, res.Cost, clean.Cost)
+			}
+		default:
+			// The whole ladder failing is only acceptable as a typed
+			// detection, never an untyped (possibly wrong) failure.
+			if _, ok := faultinject.AsCorruption(err); !ok {
+				if _, ok := faultinject.AsFault(err); !ok {
+					t.Fatalf("request %d: untyped failure: %v", i, err)
+				}
+			}
+		}
+		for k, v := range guardVars(t, s) {
+			if v < prev[k] {
+				t.Fatalf("request %d: guard counter %s fell %d → %d", i, k, prev[k], v)
+			}
+			prev[k] = v
+		}
+	}
+	if prev["guard_trips"] == 0 {
+		t.Fatalf("silent-bitflip storm (%d fired) produced zero guard trips", sched.Fired())
+	}
+	if sched.Fired() == 0 {
+		t.Fatal("schedule never fired")
+	}
+
+	// Budget drained: one more request serves clean and the counters
+	// do not move.
+	res, err := s.Submit(context.Background(), Request{Costs: costs})
+	if err != nil {
+		t.Fatalf("post-drain request: %v", err)
+	}
+	if res.Cost != clean.Cost {
+		t.Fatalf("post-drain cost = %g, want %g", res.Cost, clean.Cost)
+	}
+	for k, v := range guardVars(t, s) {
+		if v != prev[k] {
+			t.Fatalf("guard counter %s moved after fault budget drained: %d → %d", k, prev[k], v)
+		}
+	}
+}

@@ -31,6 +31,14 @@ type Metrics struct {
 	QueueHWM atomic.Int64
 	// InFlight is the number of solves currently executing (gauge).
 	InFlight atomic.Int64
+	// Guard telemetry (see Config.Guard and hunipu.WithGuard):
+	// GuardTrips counts silent-corruption detections across all solves
+	// (recovered or terminal), AttestationFailures counts final output
+	// attestations that rejected a result, and RollbackEpochs counts
+	// checkpoint epochs discarded as poisoned during certified rollback.
+	GuardTrips          atomic.Int64
+	AttestationFailures atomic.Int64
+	RollbackEpochs      atomic.Int64
 }
 
 // devIdx guards the fixed-size per-device arrays against out-of-range
@@ -90,5 +98,10 @@ func (m *Metrics) snapshot() map[string]any {
 		"breaker_transitions": breakers,
 		"queue_high_water":    m.QueueHWM.Load(),
 		"in_flight":           m.InFlight.Load(),
+		"guard": map[string]int64{
+			"guard_trips":          m.GuardTrips.Load(),
+			"attestation_failures": m.AttestationFailures.Load(),
+			"rollback_epochs":      m.RollbackEpochs.Load(),
+		},
 	}
 }

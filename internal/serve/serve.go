@@ -51,6 +51,12 @@ type Config struct {
 	// Retries and Backoff arm hunipu.WithRecovery on every solve.
 	Retries int
 	Backoff time.Duration
+	// Guard arms hunipu.WithGuard on every solve: silent-corruption
+	// detection, certified rollback, and output attestation on the IPU
+	// rungs of the ladder. The zero value leaves the guard to any
+	// schedule-carried guard= clause (see hunipu.WithFaultSchedule);
+	// detections surface in the guard_* expvar counters either way.
+	Guard hunipu.GuardPolicy
 	// LatencyBudget, when positive, marks any serving attempt slower
 	// than this as a breaker failure signal even though the client
 	// still gets its answer.
@@ -332,6 +338,9 @@ func (s *Server) process(it *item) {
 	if s.cfg.Retries > 0 {
 		opts = append(opts, hunipu.WithRecovery(s.cfg.Retries, s.cfg.Backoff))
 	}
+	if s.cfg.Guard != hunipu.GuardOff {
+		opts = append(opts, hunipu.WithGuard(s.cfg.Guard))
+	}
 	opts = append(opts, injectorOpts(s.cfg.Inject)...)
 	if it.req.Maximize {
 		opts = append(opts, hunipu.Maximize())
@@ -359,6 +368,17 @@ func (s *Server) settle(picks []pick, n int, res *hunipu.Result, err error) {
 	if report != nil {
 		for _, a := range report.Attempts {
 			attempts[a.Device] = a
+			// Guard telemetry: recovered detections ride on successful
+			// attempts; a terminal detection is the attempt's typed error.
+			s.metrics.GuardTrips.Add(int64(a.GuardTrips))
+			s.metrics.RollbackEpochs.Add(int64(a.RollbackEpochs))
+			if ce, ok := faultinject.AsCorruption(a.Err); ok {
+				s.metrics.GuardTrips.Add(1)
+				s.metrics.RollbackEpochs.Add(int64(ce.PoisonedEpochs))
+				if ce.Guard == "attestation" {
+					s.metrics.AttestationFailures.Add(1)
+				}
+			}
 		}
 	}
 	for _, p := range picks {

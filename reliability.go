@@ -99,6 +99,17 @@ type Attempt struct {
 	// Faults counts faults injected into this attempt, including the
 	// transient ones that recovery absorbed.
 	Faults int64
+	// GuardTrips counts silent-corruption detections (checksum
+	// mismatches, invariant-probe failures) during the attempt; see
+	// WithGuard. RollbackEpochs counts checkpoint epochs discarded as
+	// poisoned during certified rollback, and DetectionLatency is the
+	// worst injection-to-detection distance in supersteps (0 when
+	// nothing was detected). GuardCycles is the modeled cycle cost of
+	// the guard machinery (IPU attempts only).
+	GuardTrips       int
+	RollbackEpochs   int
+	DetectionLatency int64
+	GuardCycles      int64
 	// IPUDetail carries the full device profile of a successful IPU
 	// attempt (stats, per-compute-set breakdown when profiling is on,
 	// recovery report); nil for other devices and failed attempts.
@@ -164,6 +175,9 @@ func (c *config) validate() error {
 	}
 	if !c.device.known() {
 		return fmt.Errorf("hunipu: unknown device %v: %w", c.device, ErrInvalidOption)
+	}
+	if !c.guard.valid() {
+		return fmt.Errorf("hunipu: WithGuard: unknown policy %v: %w", c.guard, ErrInvalidOption)
 	}
 	seen := map[Device]bool{c.device: true}
 	for _, d := range c.fallback {
@@ -290,6 +304,7 @@ func (c *config) solveOn(ctx context.Context, d Device, m *lsap.Matrix) (*lsap.S
 			o.MaxRetries = c.retries
 			o.RetryBackoff = c.backoff
 		}
+		o.Guard = c.resolveGuard(o.Guard, inj)
 		s, err := core.New(o)
 		if err != nil {
 			att.Err = err
@@ -305,6 +320,10 @@ func (c *config) solveOn(ctx context.Context, d Device, m *lsap.Matrix) (*lsap.S
 		att.Retries = r.Recovery.Retries
 		att.CheckpointsSaved = r.Recovery.CheckpointsSaved
 		att.CheckpointsRestored = r.Recovery.CheckpointsRestored
+		att.GuardTrips = r.Recovery.GuardTrips
+		att.RollbackEpochs = r.Recovery.RollbackEpochs
+		att.DetectionLatency = r.Recovery.DetectionLatency
+		att.GuardCycles = r.Stats.GuardCycles
 		att.IPUDetail = r
 		return r.Solution, r.Modeled, att
 	case DeviceGPU:
