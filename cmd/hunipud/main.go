@@ -10,7 +10,9 @@
 //	GET  /readyz      readiness (503 while draining or when every breaker is open)
 //	GET  /debug/vars  expvar counters (admitted, shed, served per device,
 //	                  breaker states and transitions, queue high-water mark,
-//	                  guard trips / attestation failures / rollback epochs)
+//	                  guard trips / attestation failures / rollback epochs,
+//	                  compiled-program cache hits / misses / evictions /
+//	                  builds / in-flight under "progcache")
 //
 // Shedding is typed on the wire: 429 overloaded, 422 deadline too
 // short, 503 draining / no device, 504 deadline expired mid-solve,
@@ -21,6 +23,7 @@
 //	hunipud -addr :8080 -workers 4 -queue 64 -drain 10s
 //	hunipud -guard invariants                      # arm SDC detection + attestation
 //	hunipud -faults-ipu 'reset every=1 times=40'   # chaos drill
+//	hunipud -progcache 32                          # cache 32 compiled shapes
 package main
 
 import (
@@ -69,6 +72,7 @@ type flags struct {
 	guard           string
 	faultsIPU       string
 	faultsGPU       string
+	progcache       int
 }
 
 func parseFlags() *flags {
@@ -88,6 +92,7 @@ func parseFlags() *flags {
 	flag.StringVar(&f.guard, "guard", "off", "silent-corruption guard policy on IPU solves: off, checksums, invariants, paranoid")
 	flag.StringVar(&f.faultsIPU, "faults-ipu", "", "shared fault schedule injected on the IPU (chaos drills)")
 	flag.StringVar(&f.faultsGPU, "faults-gpu", "", "shared fault schedule injected on the GPU (chaos drills)")
+	flag.IntVar(&f.progcache, "progcache", hunipu.DefaultProgramCacheCapacity, "compiled-program cache capacity in shapes (0 = disable caching; every solve recompiles)")
 	flag.Parse()
 	return f
 }
@@ -296,6 +301,9 @@ func writeError(w http.ResponseWriter, status int, code, msg string) {
 
 func run() error {
 	f := parseFlags()
+	// Rebound the compiled-program cache before the first solve so a
+	// memory-tuned daemon never transiently holds more shapes than asked.
+	hunipu.SetProgramCacheCapacity(f.progcache)
 	cfg, err := f.serverConfig()
 	if err != nil {
 		return err

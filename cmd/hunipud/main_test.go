@@ -181,10 +181,32 @@ func TestDebugVars(t *testing.T) {
 		t.Fatalf("/debug/vars = %d", resp.StatusCode)
 	}
 	body := string(raw)
-	for _, want := range []string{`"hunipu_serve"`, `"admitted"`, `"breaker_state"`, `"queue_high_water"`, `"guard_trips"`, `"attestation_failures"`, `"rollback_epochs"`} {
+	for _, want := range []string{`"hunipu_serve"`, `"admitted"`, `"breaker_state"`, `"queue_high_water"`, `"guard_trips"`, `"attestation_failures"`, `"rollback_epochs"`, `"progcache"`, `"hits"`, `"misses"`, `"evictions"`, `"builds"`, `"in_flight"`} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("/debug/vars missing %s:\n%s", want, body)
 		}
+	}
+}
+
+// TestProgcacheVars checks the compiled-program cache counters move
+// through the serving layer: a served IPU solve is at least one cache
+// acquisition, so hits+misses must be positive in Vars.
+func TestProgcacheVars(t *testing.T) {
+	srv, ts := newTestDaemon(t, serve.Config{Workers: 1}, 0)
+	for i := 0; i < 2; i++ {
+		if resp, _ := postSolve(t, ts, `{"costs":[[4,1,3],[2,0,5],[3,2,2]]}`); resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve %d = %d", i, resp.StatusCode)
+		}
+	}
+	pc, ok := srv.Vars()["progcache"].(map[string]int64)
+	if !ok {
+		t.Fatalf("Vars()[progcache] missing or mistyped: %#v", srv.Vars()["progcache"])
+	}
+	if pc["hits"]+pc["misses"] < 2 {
+		t.Errorf("progcache hits+misses = %d+%d after two served solves, want ≥ 2", pc["hits"], pc["misses"])
+	}
+	if pc["capacity"] <= 0 {
+		t.Errorf("progcache capacity = %d, want the default bound", pc["capacity"])
 	}
 }
 

@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hunipu/internal/ipu"
+)
+
+// smallBenchIPU shrinks the device so trajectory unit tests compile
+// their programs quickly (the committed baseline uses the full Mk2).
+func smallBenchIPU() ipu.Config {
+	cfg := ipu.MK2()
+	cfg.TilesPerIPU = 64
+	return cfg
+}
+
+// sampleTrajectory mirrors testdata/trajectory_golden.json exactly.
+func sampleTrajectory() *Trajectory {
+	return &Trajectory{
+		Schema:   TrajectorySchema,
+		Version:  TrajectoryVersion,
+		ID:       TrajectoryID,
+		Seed:     1,
+		WarmRuns: 8,
+		Go:       "go1.24.0",
+		Cases: []TrajectoryCase{{
+			Name:           "gaussian-n64-k500",
+			N:              64,
+			K:              500,
+			IPUCycles:      1024106,
+			IPUModeledUS:   772,
+			IPUSupersteps:  2761,
+			GPUCycles:      11796414,
+			GPUModeledUS:   8366,
+			CPUNS:          183772,
+			ColdSolveNS:    43960432,
+			WarmSolveNS:    33752232,
+			AllocsPerSolve: 439894,
+			WarmBuilds:     0,
+		}},
+	}
+}
+
+func TestTrajectoryRoundTrip(t *testing.T) {
+	orig := sampleTrajectory()
+	enc, err := orig.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeTrajectory(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := dec.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, re) {
+		t.Errorf("round trip not byte-identical:\nfirst:  %s\nsecond: %s", enc, re)
+	}
+	if len(dec.Cases) != 1 || dec.Cases[0] != orig.Cases[0] {
+		t.Errorf("decoded case %+v ≠ original %+v", dec.Cases[0], orig.Cases[0])
+	}
+}
+
+// TestTrajectoryDeterministicOrdering: encoding the same trajectory
+// repeatedly must emit identical bytes — field order is declaration
+// order, never map order — so BENCH files diff cleanly across PRs.
+func TestTrajectoryDeterministicOrdering(t *testing.T) {
+	tr := sampleTrajectory()
+	first, err := tr.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		again, err := tr.EncodeJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, again) {
+			t.Fatalf("encoding %d differs from first", i)
+		}
+	}
+	// The schema header must come first so humans and tools can identify
+	// a trajectory file from its opening bytes.
+	if !bytes.HasPrefix(first, []byte("{\n  \"schema\": \"hunipu-bench-trajectory\",\n  \"version\": 1,")) {
+		t.Errorf("schema/version are not the leading fields:\n%s", first[:80])
+	}
+}
+
+func TestTrajectoryGolden(t *testing.T) {
+	golden, err := os.ReadFile(filepath.Join("testdata", "trajectory_golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := sampleTrajectory().EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, golden) {
+		t.Errorf("encoding drifted from golden fixture:\ngot:\n%s\nwant:\n%s", enc, golden)
+	}
+	// And the golden file itself must decode cleanly.
+	tr, err := DecodeTrajectory(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.CheckWarmCache(); err != nil {
+		t.Errorf("golden fixture fails warm-cache invariant: %v", err)
+	}
+}
+
+func TestDecodeTrajectoryRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"malformed", `{"schema": `},
+		{"wrong schema", `{"schema": "something-else", "version": 1}`},
+		{"future version", `{"schema": "hunipu-bench-trajectory", "version": 99}`},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeTrajectory([]byte(tc.in)); err == nil {
+			t.Errorf("%s: decoded without error", tc.name)
+		}
+	}
+}
+
+func TestCheckWarmCacheFlagsBuilds(t *testing.T) {
+	tr := sampleTrajectory()
+	if err := tr.CheckWarmCache(); err != nil {
+		t.Fatalf("clean trajectory failed warm-cache check: %v", err)
+	}
+	tr.Cases[0].WarmBuilds = 2
+	if err := tr.CheckWarmCache(); err == nil {
+		t.Fatal("trajectory with WarmBuilds=2 passed the warm-cache check")
+	}
+}
+
+// TestRunTrajectoryShort runs the real suite at its smallest scale:
+// answers cross-checked against the JV optimum inside RunTrajectory,
+// modeled cycles recorded, and — the CI invariant — zero warm builds.
+func TestRunTrajectoryShort(t *testing.T) {
+	cfg := TrajectoryConfig{Sizes: []int{16, 24}, Seed: 1, WarmRuns: 3}
+	cfg.HunIPU.Config = smallBenchIPU()
+	tr, err := RunTrajectory(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Cases) != 2 {
+		t.Fatalf("got %d cases, want 2", len(tr.Cases))
+	}
+	for _, c := range tr.Cases {
+		if c.IPUCycles <= 0 || c.GPUCycles <= 0 || c.CPUNS <= 0 {
+			t.Errorf("case %s has empty measurements: %+v", c.Name, c)
+		}
+		if c.ColdSolveNS <= 0 || c.WarmSolveNS <= 0 {
+			t.Errorf("case %s missing cold/warm latency: %+v", c.Name, c)
+		}
+	}
+	if err := tr.CheckWarmCache(); err != nil {
+		t.Errorf("warm-cache solves paid construction: %v", err)
+	}
+	// The run must serialize and round-trip like any other trajectory.
+	enc, err := tr.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeTrajectory(enc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunTrajectoryDeterministicModel: the modeled cycle counts — the
+// fields PRs are compared on — must be identical across runs with the
+// same seed, whatever the host timings do.
+func TestRunTrajectoryDeterministicModel(t *testing.T) {
+	cfg := TrajectoryConfig{Sizes: []int{16}, Seed: 5, WarmRuns: 2}
+	cfg.HunIPU.Config = smallBenchIPU()
+	a, err := RunTrajectory(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunTrajectory(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, cb := a.Cases[0], b.Cases[0]
+	if ca.IPUCycles != cb.IPUCycles || ca.IPUSupersteps != cb.IPUSupersteps || ca.GPUCycles != cb.GPUCycles {
+		t.Errorf("modeled fields differ across identical runs:\n%+v\n%+v", ca, cb)
+	}
+}

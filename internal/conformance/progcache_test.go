@@ -1,0 +1,186 @@
+package conformance
+
+import (
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"hunipu/internal/core"
+	"hunipu/internal/faultinject"
+	"hunipu/internal/lsap"
+	"hunipu/internal/poplar"
+)
+
+// TestSingleFlightCompilation is the satellite race test: K goroutines
+// solving the same shape concurrently through one shared program cache
+// must observe exactly one compilation (the cache's build counter), and
+// every goroutine must still get a certified-optimal result. Run under
+// -race this also proves the memoized single-flight path is data-race
+// free. Goroutine-leak checked via CheckNoLeak.
+func TestSingleFlightCompilation(t *testing.T) {
+	const workers = 8
+	before := runtime.NumGoroutine()
+
+	cache := core.NewProgramCache(4)
+	opts := core.Options{
+		Config: smallIPU(),
+		Cache:  cache,
+		Guard:  poplar.GuardInvariants, // certified results, not just optimal ones
+	}
+	rng := rand.New(rand.NewSource(41))
+	m := genUniform(rng, 16)
+	ct := NewCertifier()
+
+	var wg sync.WaitGroup
+	sols := make([]*lsap.Solution, workers)
+	errs := make([]error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := core.New(opts)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			sols[i], errs[i] = s.Solve(m.Clone())
+		}(i)
+	}
+	wg.Wait()
+	CheckNoLeak(t, before)
+
+	for i := 0; i < workers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("worker %d: %v", i, errs[i])
+		}
+		if err := ct.Certify(m, sols[i]); err != nil {
+			t.Fatalf("worker %d result not certified: %v", i, err)
+		}
+	}
+	st := cache.Stats()
+	if st.Builds != 1 {
+		t.Fatalf("Builds = %d with %d concurrent same-shape solvers, want exactly 1 (single-flight)", st.Builds, workers)
+	}
+	if st.Hits+st.Misses != workers {
+		t.Errorf("Hits+Misses = %d+%d, want %d total acquisitions", st.Hits, st.Misses, workers)
+	}
+	if st.InFlight != 0 {
+		t.Errorf("InFlight = %d after all solves returned, want 0", st.InFlight)
+	}
+}
+
+// TestSingleFlightManyShapes interleaves concurrent solvers across two
+// shapes: single-flight must hold per fingerprint, not globally.
+func TestSingleFlightManyShapes(t *testing.T) {
+	const perShape = 4
+	cache := core.NewProgramCache(4)
+	opts := core.Options{Config: smallIPU(), Cache: cache}
+	rng := rand.New(rand.NewSource(43))
+	ms := []*lsap.Matrix{genUniform(rng, 12), genUniform(rng, 15)}
+	ct := NewCertifier()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, perShape*len(ms))
+	for _, m := range ms {
+		for i := 0; i < perShape; i++ {
+			wg.Add(1)
+			go func(m *lsap.Matrix) {
+				defer wg.Done()
+				s, err := core.New(opts)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				sol, err := s.Solve(m.Clone())
+				if err != nil {
+					errCh <- err
+					return
+				}
+				errCh <- ct.Certify(m, sol)
+			}(m)
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := cache.Stats(); st.Builds != int64(len(ms)) {
+		t.Fatalf("Builds = %d for %d distinct shapes, want one build each", st.Builds, len(ms))
+	}
+}
+
+// TestWarmCacheChaosSweep is the satellite cache-under-chaos test: a
+// warm cache must preserve the repo's headline reliability invariant —
+// every solve ends in a certified-optimal solution or a typed error,
+// never a silently wrong answer — while programs are being reused (and
+// zero-state recycled) across faulting and clean runs.
+func TestWarmCacheChaosSweep(t *testing.T) {
+	// Capacity covers the clean shape plus every per-schedule fingerprint
+	// so the post-sweep warm assertion below cannot be defeated by LRU.
+	const schedules = 12
+	cache := core.NewProgramCache(schedules + 2)
+	rng := rand.New(rand.NewSource(47))
+	m := genUniform(rng, 12)
+	ct := NewCertifier()
+
+	// Warm the clean-path program once.
+	clean, err := core.New(core.Options{Config: smallIPU(), Guard: poplar.GuardInvariants, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := clean.Solve(m.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ct.Certify(m, sol); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < schedules; i++ {
+		sched := faultinject.RandomSilentSchedule(rand.New(rand.NewSource(int64(100 + i))))
+		// The same injector is reused for several solves so its program —
+		// keyed by injector identity — goes warm and dirty-reuse under
+		// chaos is exercised, exactly like a serving layer's fault drill.
+		s, err := core.New(core.Options{
+			Config: smallIPU(), Guard: poplar.GuardInvariants,
+			Fault: sched, MaxRetries: 2, Cache: cache,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for run := 0; run < 3; run++ {
+			sol, err := s.Solve(m.Clone())
+			if err != nil {
+				var ce *faultinject.CorruptionError
+				var fe *faultinject.FaultError
+				if !errors.As(err, &ce) && !errors.As(err, &fe) {
+					t.Fatalf("schedule %d run %d: untyped error %v", i, run, err)
+				}
+				continue
+			}
+			if cerr := ct.Certify(m, sol); cerr != nil {
+				t.Fatalf("schedule %d run %d: uncertified result from warm cache: %v", i, run, cerr)
+			}
+		}
+	}
+
+	// Clean-path solves after the sweep still hit their warm program and
+	// still certify.
+	for i := 0; i < 2; i++ {
+		r, err := clean.SolveDetailed(m.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Cached {
+			t.Errorf("post-sweep clean solve %d rebuilt its program; chaos must not evict the clean shape", i)
+		}
+		if err := ct.Certify(m, r.Solution); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -105,6 +105,13 @@ type Options struct {
 	// attempt. 0 retries immediately.
 	RetryBackoff time.Duration
 
+	// Cache is the compiled-program cache this solver draws from. Nil
+	// selects the process-wide DefaultCache, which is what applications
+	// want: every same-fingerprint solve in the process then shares one
+	// compiled program per shape. Tests that need isolation pass their
+	// own NewProgramCache.
+	Cache *ProgramCache
+
 	// Guard selects the silent-corruption defense (see poplar.GuardPolicy):
 	// incremental tensor checksums, algorithm-level invariant probes over
 	// the dual potentials, and mandatory output attestation. Off (the

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"sync"
 	"time"
 
 	"hunipu/internal/faultinject"
@@ -23,28 +22,27 @@ import (
 type Solver struct {
 	opts Options
 
-	// The compiled graph is cached per matrix size, so applications
-	// that solve many same-size instances (the paper's shape-matching
-	// motivation runs the algorithm "hundreds of times") compile once
-	// and only pay execution on subsequent solves.
-	mu    sync.Mutex
-	cache map[int]*compiled
+	// Compiled programs come from a fingerprint-keyed cache (see
+	// progcache.go): applications that solve many same-shape instances
+	// (the paper's shape-matching motivation runs the algorithm
+	// "hundreds of times", and a daemon serves repeated shapes forever)
+	// compile once per shape — across Solver instances when they share
+	// a cache — and pay only upload + run + readback afterwards.
+	cache *ProgramCache
 }
 
-// compiled is one size's reusable artefact.
-type compiled struct {
-	b   *builder
-	eng *poplar.Engine
-	dev *ipu.Device
-}
-
-// New creates a solver, resolving option defaults.
+// New creates a solver, resolving option defaults. Solvers with
+// Options.Cache unset share the process-wide DefaultCache.
 func New(opts Options) (*Solver, error) {
 	o, err := opts.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	return &Solver{opts: o, cache: map[int]*compiled{}}, nil
+	cache := o.Cache
+	if cache == nil {
+		cache = defaultCache
+	}
+	return &Solver{opts: o, cache: cache}, nil
 }
 
 // Name implements lsap.Solver.
@@ -72,9 +70,15 @@ type Result struct {
 	Modeled time.Duration
 	// MaxTileBytes is the most loaded tile's SRAM footprint.
 	MaxTileBytes int64
-	// CompileHost is the real host time spent building and compiling
-	// the static graph (the paper compiles once per matrix size).
+	// CompileHost is the real host time this solve spent acquiring its
+	// compiled program: graph construction + verification + compilation
+	// on a cache miss (the paper compiles once per matrix size),
+	// near-zero on a warm-cache hit.
 	CompileHost time.Duration
+	// Cached is true when the solve reused an already-compiled program
+	// and therefore skipped construction, verification, and compilation
+	// entirely.
+	Cached bool
 	// Profile is the per-compute-set breakdown (nil unless
 	// Options.Profile is set), sorted by descending compute cycles.
 	Profile []poplar.CSProfile
@@ -120,77 +124,46 @@ func (s *Solver) SolveDetailedContext(ctx context.Context, c *lsap.Matrix) (*Res
 	}
 
 	compileStart := time.Now()
-	s.mu.Lock()
-	cc := s.cache[n]
-	if cc == nil {
-		b, err := newBuilder(s.opts, n)
-		if err != nil {
-			s.mu.Unlock()
-			return nil, err
-		}
-		prog := b.buildProgram()
-		dev, err := ipu.NewDevice(s.opts.Config)
-		if err != nil {
-			s.mu.Unlock()
-			return nil, err
-		}
-		// The injector goes in before NewEngine so tile-memory faults
-		// can fire during graph compilation's allocations.
-		if s.opts.Fault != nil {
-			dev.SetInjector(s.opts.Fault)
-		}
-		engOpts := []poplar.EngineOption{
-			poplar.WithRetry(s.opts.MaxRetries, s.opts.RetryBackoff),
-		}
-		if s.opts.Guard != poplar.GuardOff {
-			engOpts = append(engOpts, poplar.WithGuard(s.opts.Guard))
-		}
-		if s.opts.CheckpointEvery > 0 {
-			engOpts = append(engOpts, poplar.WithCheckpointEvery(s.opts.CheckpointEvery))
-		}
-		if s.opts.Parallelism != 0 {
-			engOpts = append(engOpts, poplar.WithParallelism(s.opts.Parallelism))
-		}
-		if s.opts.MaxSupersteps != 0 {
-			engOpts = append(engOpts, poplar.WithMaxSupersteps(s.opts.MaxSupersteps))
-		}
-		if s.opts.Profile {
-			engOpts = append(engOpts, poplar.WithProfiling())
-		}
-		if s.opts.TraceWriter != nil {
-			engOpts = append(engOpts, poplar.WithTrace())
-		}
-		eng, err := poplar.NewEngine(b.g, prog, dev, engOpts...)
-		if err != nil {
-			s.mu.Unlock()
-			return nil, fmt.Errorf("core: graph compilation failed: %w", err)
-		}
-		if s.opts.Guard != poplar.GuardOff {
-			b.registerInvariants(eng)
-		}
-		cc = &compiled{b: b, eng: eng, dev: dev}
-		s.cache[n] = cc
+	cp, built, err := s.cache.acquire(s.keyFor(n), func() (*CompiledProgram, error) {
+		return s.compileProgram(n)
+	})
+	if err != nil {
+		return nil, err
 	}
+	// Runs serialize per program: tensor data is program-resident.
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
 	compileTime := time.Since(compileStart)
-	b, eng, dev := cc.b, cc.eng, cc.dev
+	b, eng, dev := cp.b, cp.eng, cp.dev
 
+	if cp.dirty {
+		// The previous run on this program failed mid-solve; restore the
+		// all-zero cold-engine state instead of recompiling.
+		eng.ZeroState()
+		cp.dirty = false
+	}
+	if s.opts.Guard != poplar.GuardOff {
+		// The pristine input copy is instance state: release it when the
+		// solve ends so a warm cached program never pins a matrix-sized
+		// buffer (see the heap-retention regression test).
+		defer func() { b.input = nil }()
+	}
 	eng.ResetReport()
 	// The clock reset precedes the host write so injection-schedule
 	// superstep coordinates are relative to the solve, every solve.
 	dev.ResetClock()
 	if err := eng.HostWrite(b.slack, c.Data); err != nil {
-		s.mu.Unlock()
+		cp.dirty = true
 		return nil, fmt.Errorf("core: input transfer failed: %w", err)
 	}
 	if s.opts.Guard != poplar.GuardOff {
 		// Pristine host-side copy for the invariant probes and the final
 		// attestation; must be in place before execution starts.
-		b.input = append(b.input[:0], c.Data...)
+		b.input = append([]float64(nil), c.Data...)
 		b.guardTol = guardTolerance(c.Data, s.opts.Epsilon)
 	}
 	if err := eng.RunContext(ctx); err != nil {
-		s.cache[n] = nil // state may be inconsistent after a failure
-		s.mu.Unlock()
+		cp.dirty = true // state may be inconsistent after a failure
 		if ce, ok := faultinject.AsCorruption(err); ok {
 			return nil, ce
 		}
@@ -202,11 +175,10 @@ func (s *Solver) SolveDetailedContext(ctx context.Context, c *lsap.Matrix) (*Res
 		}
 		return nil, fmt.Errorf("core: execution failed: %w", err)
 	}
-	defer s.mu.Unlock()
 	if b.pathErr.ScalarValue() != 0 {
 		err := fmt.Errorf("core: internal invariant violated during path augmentation")
+		cp.dirty = true
 		if s.opts.Guard != poplar.GuardOff {
-			s.cache[n] = nil
 			return nil, eng.NewCorruptionError("structural:path", err)
 		}
 		return nil, err
@@ -214,6 +186,7 @@ func (s *Solver) SolveDetailedContext(ctx context.Context, c *lsap.Matrix) (*Res
 
 	stars, err := eng.HostRead(b.rowStar)
 	if err != nil {
+		cp.dirty = true
 		return nil, fmt.Errorf("core: result transfer failed: %w", err)
 	}
 	a := make(lsap.Assignment, n)
@@ -222,8 +195,8 @@ func (s *Solver) SolveDetailedContext(ctx context.Context, c *lsap.Matrix) (*Res
 	}
 	if err := a.Validate(n); err != nil {
 		err = fmt.Errorf("core: produced invalid matching: %w", err)
+		cp.dirty = true
 		if s.opts.Guard != poplar.GuardOff {
-			s.cache[n] = nil
 			return nil, eng.NewCorruptionError("structural:matching", err)
 		}
 		return nil, err
@@ -241,7 +214,7 @@ func (s *Solver) SolveDetailedContext(ctx context.Context, c *lsap.Matrix) (*Res
 	if s.opts.Guard != poplar.GuardOff {
 		p, err := b.attest(eng, dev, c, a)
 		if err != nil {
-			s.cache[n] = nil
+			cp.dirty = true
 			return nil, eng.NewCorruptionError("attestation", fmt.Errorf("core: output attestation failed: %w", err))
 		}
 		pots = p
@@ -252,6 +225,7 @@ func (s *Solver) SolveDetailedContext(ctx context.Context, c *lsap.Matrix) (*Res
 		Modeled:      dev.ModeledTime(),
 		MaxTileBytes: dev.MaxAllocated(),
 		CompileHost:  compileTime,
+		Cached:       !built,
 		Recovery:     eng.Report(),
 	}
 	if s.opts.Profile {

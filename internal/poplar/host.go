@@ -36,3 +36,15 @@ func (t *Tensor) ScalarValue() float64 {
 	}
 	return t.data[0]
 }
+
+// ZeroState zeroes every tensor of the engine's graph, restoring the
+// all-zero state a freshly compiled engine starts from. A cached
+// compiled program whose previous run failed mid-solve (fault, guard
+// trip, cancellation) calls this before its next run instead of paying
+// graph construction and compilation again: self-initialising programs
+// then observe exactly the state a cold engine would.
+func (e *Engine) ZeroState() {
+	for _, t := range e.graph.tensors {
+		clear(t.data)
+	}
+}

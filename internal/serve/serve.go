@@ -190,6 +190,16 @@ func (s *Server) Vars() map[string]any {
 	v["breaker_state"] = states
 	v["queue_depth"] = len(s.queue)
 	v["draining"] = s.draining.Load()
+	pc := hunipu.ProgramCacheSnapshot()
+	v["progcache"] = map[string]int64{
+		"hits":      pc.Hits,
+		"misses":    pc.Misses,
+		"evictions": pc.Evictions,
+		"builds":    pc.Builds,
+		"in_flight": pc.InFlight,
+		"entries":   pc.Entries,
+		"capacity":  pc.Capacity,
+	}
 	return v
 }
 
