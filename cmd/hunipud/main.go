@@ -12,7 +12,8 @@
 //	                  breaker states and transitions, queue high-water mark,
 //	                  guard trips / attestation failures / rollback epochs,
 //	                  compiled-program cache hits / misses / evictions /
-//	                  builds / in-flight under "progcache")
+//	                  builds / in-flight under "progcache", sharded-solve
+//	                  counts / devices lost / reshards under "shard")
 //
 // Shedding is typed on the wire: 429 overloaded, 422 deadline too
 // short, 503 draining / no device, 504 deadline expired mid-solve,
@@ -24,6 +25,7 @@
 //	hunipud -guard invariants                      # arm SDC detection + attestation
 //	hunipud -faults-ipu 'reset every=1 times=40'   # chaos drill
 //	hunipud -progcache 32                          # cache 32 compiled shapes
+//	hunipud -shards 4 -min-fabric 2                # 4-chip fabric, survive down to 2
 package main
 
 import (
@@ -73,6 +75,8 @@ type flags struct {
 	faultsIPU       string
 	faultsGPU       string
 	progcache       int
+	shards          int
+	minFabric       int
 }
 
 func parseFlags() *flags {
@@ -93,6 +97,8 @@ func parseFlags() *flags {
 	flag.StringVar(&f.faultsIPU, "faults-ipu", "", "shared fault schedule injected on the IPU (chaos drills)")
 	flag.StringVar(&f.faultsGPU, "faults-gpu", "", "shared fault schedule injected on the GPU (chaos drills)")
 	flag.IntVar(&f.progcache, "progcache", hunipu.DefaultProgramCacheCapacity, "compiled-program cache capacity in shapes (0 = disable caching; every solve recompiles)")
+	flag.IntVar(&f.shards, "shards", 0, "run IPU solves sharded over this many simulated chips; survives chip loss by re-sharding (0 = single device)")
+	flag.IntVar(&f.minFabric, "min-fabric", 0, "smallest fabric a sharded solve may continue on after chip losses (0 = 1; requires -shards)")
 	flag.Parse()
 	return f
 }
@@ -127,13 +133,15 @@ func (f *flags) serverConfig() (serve.Config, error) {
 		return serve.Config{}, fmt.Errorf("-guard: %w", err)
 	}
 	cfg := serve.Config{
-		Devices:       devices,
-		Workers:       f.workers,
-		QueueDepth:    f.queue,
-		Retries:       f.retries,
-		Backoff:       f.backoff,
-		Guard:         guard,
-		LatencyBudget: f.latencyBudget,
+		Devices:         devices,
+		Workers:         f.workers,
+		QueueDepth:      f.queue,
+		Retries:         f.retries,
+		Backoff:         f.backoff,
+		Guard:           guard,
+		Shards:          f.shards,
+		MinShardDevices: f.minFabric,
+		LatencyBudget:   f.latencyBudget,
 		Breaker: serve.BreakerConfig{
 			Window:   f.breakerWindow,
 			Failures: f.breakerFailures,

@@ -77,6 +77,10 @@ type config struct {
 	backoff   time.Duration
 	guard     GuardPolicy
 	guardSet  bool
+
+	// Sharding knobs; see sharding.go.
+	shards    int
+	minFabric int
 }
 
 // Option configures a Solve or Align call.

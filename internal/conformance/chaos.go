@@ -11,6 +11,7 @@ import (
 	"hunipu/internal/faultinject"
 	"hunipu/internal/ipuauction"
 	"hunipu/internal/lsap"
+	"hunipu/internal/shard"
 )
 
 // ChaosEntry is one solver that accepts a fault injector. Chaos runs
@@ -49,6 +50,22 @@ func ChaosRegistry() []ChaosEntry {
 			Name: "HunIPU-2D",
 			New: func(inj faultinject.Injector, retries int) (lsap.Solver, error) {
 				return core.New(core.Options{Config: smallIPU(), Use2D: true, Fault: inj, MaxRetries: retries})
+			},
+		},
+		{
+			Name: "HunIPU-shard2",
+			New: func(inj faultinject.Injector, retries int) (lsap.Solver, error) {
+				return shard.New(shard.Options{
+					Config: smallIPU(), Devices: 2, Fault: inj, MaxRetries: retries, Cache: shard.NewPlanCache(),
+				})
+			},
+		},
+		{
+			Name: "HunIPU-shard4",
+			New: func(inj faultinject.Injector, retries int) (lsap.Solver, error) {
+				return shard.New(shard.Options{
+					Config: smallIPU(), Devices: 4, Fault: inj, MaxRetries: retries, Cache: shard.NewPlanCache(),
+				})
 			},
 		},
 		{

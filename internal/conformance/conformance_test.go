@@ -102,6 +102,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"CPU-JV", "CPU-ParallelJV", "CPU-Munkres", "CPU-Auction",
 		"HunIPU", "HunIPU-nocompress", "HunIPU-2D",
+		"HunIPU-shard2", "HunIPU-shard4",
 		"FastHA", "IPU-Auction", "GPU-Auction", "BruteForce",
 	}
 	got := map[string]bool{}

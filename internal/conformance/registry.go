@@ -32,6 +32,7 @@ import (
 	"hunipu/internal/ipu"
 	"hunipu/internal/ipuauction"
 	"hunipu/internal/lsap"
+	"hunipu/internal/shard"
 )
 
 // Entry describes one registered solver and the constraints the
@@ -121,6 +122,20 @@ func Registry() []Entry {
 			New: func() (lsap.Solver, error) {
 				return core.New(core.Options{Config: smallIPU(), Use2D: true})
 			},
+		},
+		{
+			Name: "HunIPU-shard2",
+			New: func() (lsap.Solver, error) {
+				return shard.New(shard.Options{Config: smallIPU(), Devices: 2, Cache: shard.NewPlanCache()})
+			},
+			Certifying: true,
+		},
+		{
+			Name: "HunIPU-shard4",
+			New: func() (lsap.Solver, error) {
+				return shard.New(shard.Options{Config: smallIPU(), Devices: 4, Cache: shard.NewPlanCache()})
+			},
+			Certifying: true,
 		},
 		{
 			Name: "FastHA",

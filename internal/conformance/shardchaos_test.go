@@ -1,0 +1,67 @@
+package conformance
+
+import "testing"
+
+// TestShardChaosInvariant is the fabric robustness acceptance gate:
+// ≥50 random device-loss / link-loss schedules per fabric size in
+// {2, 4}, and every run must end in a certified optimum or a typed
+// error — a dying chip must never yield a silently wrong answer.
+func TestShardChaosInvariant(t *testing.T) {
+	cfg := DefaultShardChaosConfig()
+	cfg.Seed = chaosSeed(t)
+	if testing.Short() {
+		cfg.Sizes = []int{8}
+	}
+	if cfg.Schedules < 50 {
+		t.Fatalf("config sweeps %d schedules per fabric, acceptance floor is 50", cfg.Schedules)
+	}
+	rep, err := RunShardChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("invariant violated: %s", v)
+	}
+	t.Logf("shard chaos seed=%d: %d runs, %d clean, %d survived, %d typed errors; %d devices lost, %d reshards, %d rollbacks",
+		cfg.Seed, rep.Runs, rep.Clean, rep.Survived, rep.TypedError,
+		rep.DevicesLost, rep.Reshards, rep.Rollbacks)
+	// A sweep that never kills a chip, never re-shards, or never rolls
+	// back means the schedule generator or the recovery machinery died.
+	if rep.DevicesLost == 0 {
+		t.Error("no chip was ever lost: device-loss injection never exercised")
+	}
+	if rep.Reshards == 0 {
+		t.Error("no re-sharding happened: survivors never absorbed a loss")
+	}
+	if rep.Rollbacks == 0 {
+		t.Error("no rollback happened: transient recovery never exercised")
+	}
+	if rep.Survived == 0 {
+		t.Error("no run survived an injected fault")
+	}
+	if rep.TypedError == 0 {
+		t.Error("no run failed typed: fabric-collapse path never exercised")
+	}
+}
+
+// TestShardChaosDeterministic: the same seed must replay the same
+// sweep, or CHAOS_SEED reproducers are worthless.
+func TestShardChaosDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shard chaos replay is covered by the full run")
+	}
+	cfg := ShardChaosConfig{Schedules: 50, Fabrics: []int{2}, Sizes: []int{8}, Retries: 2, Seed: 42}
+	a, err := RunShardChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunShardChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Runs != b.Runs || a.Clean != b.Clean || a.Survived != b.Survived ||
+		a.TypedError != b.TypedError || a.DevicesLost != b.DevicesLost ||
+		a.Reshards != b.Reshards || a.Rollbacks != b.Rollbacks {
+		t.Fatalf("same seed, different sweeps: %+v vs %+v", a, b)
+	}
+}

@@ -344,6 +344,17 @@ func (s *Solver) keyFor(n int) programKey {
 // verification, and compilation for one shape. Everything here is
 // exactly what a warm-cache solve skips.
 func (s *Solver) compileProgram(n int) (*CompiledProgram, error) {
+	// Fail fast on problems that cannot fit tile memory: the typed
+	// *ipu.CapacityError here is cheaper and more specific than the
+	// verifier's C2 diagnostic after a full graph construction. The
+	// estimate assumes the row-block layout, so the 2D ablation (whose
+	// tiles hold only a column segment of each row) skips it and relies
+	// on the verifier.
+	if !s.opts.Use2D {
+		if err := s.opts.Config.ValidateProblem(n, 0); err != nil {
+			return nil, err
+		}
+	}
 	b, err := newBuilder(s.opts, n)
 	if err != nil {
 		return nil, err

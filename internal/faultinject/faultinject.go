@@ -54,6 +54,18 @@ const (
 	// charged. Checksum-invisible (no bytes change); only algorithm
 	// invariants or attestation can catch it.
 	SilentStaleRead
+	// DeviceLoss is the permanent loss of one chip in a multi-device
+	// fabric: the device stops responding and its tile memory is
+	// unrecoverable. Fatal for the device — but a sharded solver can
+	// re-shard the work over the survivors (see internal/shard), which
+	// is why this is a distinct class from DeviceReset: a reset device
+	// comes back, a lost device does not.
+	DeviceLoss
+	// LinkLoss is a dropped or flapping inter-IPU link: the exchange
+	// that crossed it is lost, but the devices on both ends survive.
+	// Transient: after the link recovers, the fabric resumes from the
+	// last globally consistent checkpoint.
+	LinkLoss
 
 	numClasses
 )
@@ -70,6 +82,8 @@ var classNames = [numClasses]string{
 	SilentTileBitflip:     "bitflip",
 	SilentExchangeBitflip: "exbitflip",
 	SilentStaleRead:       "stale",
+	DeviceLoss:            "deviceloss",
+	LinkLoss:              "linkloss",
 }
 
 var classTransient = [numClasses]bool{
@@ -80,6 +94,8 @@ var classTransient = [numClasses]bool{
 	SilentTileBitflip:     true,
 	SilentExchangeBitflip: true,
 	SilentStaleRead:       true,
+	DeviceLoss:            false,
+	LinkLoss:              true,
 }
 
 var classSilent = [numClasses]bool{
@@ -91,7 +107,7 @@ var classSilent = [numClasses]bool{
 // Compile-time exhaustiveness pin: bump the constant when (and only
 // when) a new Class is added, after extending the tables above and
 // Rule.appliesTo. TestClassExhaustiveness enforces the rest.
-var _ = [1]struct{}{}[numClasses-7]
+var _ = [1]struct{}{}[numClasses-9]
 
 // String implements fmt.Stringer using the spec-grammar keywords.
 func (c Class) String() string {
@@ -162,6 +178,10 @@ type Point struct {
 	Phase string
 	// Kind is the point kind.
 	Kind Kind
+	// Device is the index of the chip this point executes on within a
+	// multi-device fabric. Single-device execution always reports 0, so
+	// schedules written before fabrics existed replay unchanged.
+	Device int
 }
 
 // FaultError is the typed error every injected fault surfaces as.
@@ -180,6 +200,10 @@ type FaultError struct {
 
 // Error implements error.
 func (e *FaultError) Error() string {
+	if e.Point.Device > 0 {
+		return fmt.Sprintf("faultinject: %s fault at %s superstep %d (phase %q, device %d)",
+			e.Class, e.Point.Kind, e.Point.Superstep, e.Point.Phase, e.Point.Device)
+	}
 	return fmt.Sprintf("faultinject: %s fault at %s superstep %d (phase %q)",
 		e.Class, e.Point.Kind, e.Point.Superstep, e.Point.Phase)
 }

@@ -33,12 +33,19 @@ type Rule struct {
 	// resolves an unset times field to 1 for one-shot rules (at=,
 	// bare) and unlimited for recurring ones (every= or p= present).
 	Times int64
+	// Device restricts firing to one chip of a multi-device fabric
+	// (-1 = any device; ParseSchedule's default when no device= field
+	// is present). The zero value matches only device 0 — which is
+	// every point outside a fabric, so rules built as struct literals
+	// before sharding existed keep their old behaviour.
+	Device int64
 }
 
 // appliesTo reports whether the rule's class instruments point kind k.
 func (r Rule) appliesTo(k Kind) bool {
 	switch r.Class {
-	case ExchangeCorruption, DeviceReset, SilentTileBitflip, SilentExchangeBitflip, SilentStaleRead:
+	case ExchangeCorruption, DeviceReset, SilentTileBitflip, SilentExchangeBitflip, SilentStaleRead,
+		DeviceLoss, LinkLoss:
 		return k == KindSuperstep
 	case TileMemoryPressure:
 		return k == KindSuperstep || k == KindAlloc
@@ -147,6 +154,9 @@ func (s *Schedule) Check(p Point) *FaultError {
 		if r.Every > 0 && p.Superstep%r.Every != 0 {
 			continue
 		}
+		if r.Device >= 0 && int64(p.Device) != r.Device {
+			continue
+		}
 		if r.Phase != "" {
 			if ok, err := path.Match(r.Phase, p.Phase); err != nil || !ok {
 				continue
@@ -170,6 +180,9 @@ func coin(seed, rule int64, p Point) float64 {
 		h = (h ^ uint64(p.Phase[i])) * 0x100000001b3
 	}
 	h ^= uint64(p.Kind) << 17
+	// Device 0 (every point outside a fabric) contributes nothing, so
+	// pre-fabric probabilistic replays stay byte-identical.
+	h ^= uint64(p.Device) << 41
 	// splitmix64 finaliser.
 	h += 0x9e3779b97f4a7c15
 	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
@@ -205,6 +218,9 @@ func (s *Schedule) String() string {
 		if r.Phase != "" {
 			fmt.Fprintf(&b, " phase=%s", r.Phase)
 		}
+		if r.Device >= 0 {
+			fmt.Fprintf(&b, " device=%d", r.Device)
+		}
 		// Times prints only when it differs from the value ParseSchedule
 		// would infer for this rule shape, so the spec stays canonical:
 		// ParseSchedule(s.String()).String() == s.String().
@@ -225,19 +241,23 @@ func (s *Schedule) String() string {
 //	clause := "seed=" int | "guard=" policy | rule
 //	rule   := class field*
 //	class  := "exchange" | "memory" | "reset" | "stall" |
-//	          "bitflip" | "exbitflip" | "stale"
+//	          "bitflip" | "exbitflip" | "stale" |
+//	          "deviceloss" | "linkloss"
 //	policy := "off" | "checksums" | "invariants" | "paranoid"
 //	field  := "at=" int | "after=" int | "every=" int |
-//	          "p=" float | "phase=" glob | "times=" int
+//	          "p=" float | "phase=" glob | "times=" int |
+//	          "device=" int
 //
 // Fields within a rule are whitespace-separated and may appear at most
 // once. Example:
 //
 //	"seed=7; guard=invariants; bitflip every=40 p=0.5; reset at=900 phase=s6_*"
+//	"seed=3; deviceloss at=40 device=2; linkloss every=64 p=0.5"
 //
 // An empty spec (or one containing only a seed) is valid and injects
 // nothing. Unset times resolves to 1 for one-shot rules and unlimited
-// for recurring (every= or p=) ones.
+// for recurring (every= or p=) ones; unset device matches every chip
+// of a fabric (and plain single-device execution, which is device 0).
 func ParseSchedule(spec string) (*Schedule, error) {
 	s := &Schedule{}
 	seenSeed := false
@@ -301,7 +321,7 @@ func parseClass(word string) (Class, error) {
 
 // parseRule parses one whitespace-split rule clause.
 func parseRule(fields []string) (Rule, error) {
-	r := Rule{At: -1, Times: -2} // -2: times unset, resolved below
+	r := Rule{At: -1, Times: -2, Device: -1} // -2: times unset, resolved below
 	class, err := parseClass(fields[0])
 	if err != nil {
 		return r, err
@@ -318,7 +338,7 @@ func parseRule(fields []string) (Rule, error) {
 		}
 		seen[key] = true
 		switch key {
-		case "at", "after", "every", "times":
+		case "at", "after", "every", "times", "device":
 			n, err := strconv.ParseInt(val, 10, 64)
 			if err != nil {
 				return r, fmt.Errorf("field %s=%q: not an integer", key, val)
@@ -344,6 +364,11 @@ func parseRule(fields []string) (Rule, error) {
 					return r, fmt.Errorf("times=%d, want ≥ 1 or -1 for unlimited", n)
 				}
 				r.Times = n
+			case "device":
+				if n < 0 {
+					return r, fmt.Errorf("device=%d, want ≥ 0", n)
+				}
+				r.Device = n
 			}
 		case "p":
 			p, err := strconv.ParseFloat(val, 64)
@@ -389,7 +414,7 @@ func RandomSchedule(rng *rand.Rand) *Schedule {
 	phases := []string{"", "", "s1_*", "s4_*", "s6_*", "compress", "copy:*", "host:*", "*"}
 	nRules := 1 + rng.Intn(3)
 	for i := 0; i < nRules; i++ {
-		r := Rule{Class: classes[rng.Intn(len(classes))], At: -1, Times: 1}
+		r := Rule{Class: classes[rng.Intn(len(classes))], At: -1, Times: 1, Device: -1}
 		switch rng.Intn(3) {
 		case 0:
 			r.At = int64(rng.Intn(60))
@@ -415,6 +440,50 @@ func RandomSchedule(rng *rand.Rand) *Schedule {
 	return s
 }
 
+// RandomShardSchedule draws a schedule for multi-device chaos sweeps
+// over a fabric of the given device count: device-scoped chip losses
+// (deviceloss), link flaps (linkloss), and the pre-existing announced
+// classes, mixed with device= predicates so faults land on specific
+// shards. Kept separate from RandomSchedule so single-device chaos
+// replays stay byte-identical. Device losses are always bounded (a
+// fabric only has so many chips to lose); link storms may be unlimited
+// — the rollback retry budget is what bounds those runs.
+func RandomShardSchedule(rng *rand.Rand, devices int) *Schedule {
+	if devices < 1 {
+		devices = 1
+	}
+	s := &Schedule{Seed: rng.Int63n(1 << 20)}
+	classes := []Class{DeviceLoss, DeviceLoss, LinkLoss, LinkLoss, ExchangeCorruption, HostTransferStall, DeviceReset}
+	phases := []string{"", "", "shard:s4*", "shard:s6*", "shard:s1*", "shard:*", "*"}
+	nRules := 1 + rng.Intn(3)
+	for i := 0; i < nRules; i++ {
+		r := Rule{Class: classes[rng.Intn(len(classes))], At: -1, Times: 1, Device: -1}
+		switch rng.Intn(3) {
+		case 0:
+			r.At = int64(rng.Intn(80))
+		case 1:
+			r.Every = int64(1 + rng.Intn(12))
+			r.Times = int64(1 + rng.Intn(3))
+		default:
+			r.Every = int64(1 + rng.Intn(6))
+			r.Prob = []float64{0.25, 0.5, 0.75}[rng.Intn(3)]
+			if r.Class.Transient() && rng.Intn(2) == 0 {
+				r.Times = -1
+			} else {
+				r.Times = int64(1 + rng.Intn(3))
+			}
+		}
+		// Half the rules target a specific shard; the rest hit whichever
+		// device reaches the matching point first.
+		if rng.Intn(2) == 0 {
+			r.Device = int64(rng.Intn(devices))
+		}
+		r.Phase = phases[rng.Intn(len(phases))]
+		s.Rules = append(s.Rules, r)
+	}
+	return s
+}
+
 // RandomSilentSchedule draws a schedule of silent fault classes only
 // (bitflip, exbitflip, stale) for SDC chaos sweeps. Kept separate from
 // RandomSchedule so existing chaos replays stay byte-identical. Fires
@@ -426,7 +495,7 @@ func RandomSilentSchedule(rng *rand.Rand) *Schedule {
 	phases := []string{"", "", "s1_*", "s4_*", "s6_*", "compress", "copy:*", "*"}
 	nRules := 1 + rng.Intn(2)
 	for i := 0; i < nRules; i++ {
-		r := Rule{Class: classes[rng.Intn(len(classes))], At: -1, Times: 1}
+		r := Rule{Class: classes[rng.Intn(len(classes))], At: -1, Times: 1, Device: -1}
 		switch rng.Intn(3) {
 		case 0:
 			r.At = int64(rng.Intn(60))

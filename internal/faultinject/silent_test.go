@@ -66,6 +66,8 @@ func TestSilentClassSemantics(t *testing.T) {
 		SilentTileBitflip:     true,
 		SilentExchangeBitflip: true,
 		SilentStaleRead:       true,
+		DeviceLoss:            false,
+		LinkLoss:              false,
 	}
 	if len(wantSilent) != int(numClasses) {
 		t.Fatalf("test table covers %d classes, have %d", len(wantSilent), numClasses)

@@ -22,6 +22,7 @@
 package ipu
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -131,6 +132,77 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// CapacityError reports that a problem shape cannot fit the simulated
+// fabric: even with the rows of one shard spread evenly over a chip's
+// tiles, some tile would exceed its SRAM (the paper's constraint C2).
+// It is a typed pre-flight error so callers fail fast with the
+// limiting constraint named, instead of failing deep inside poplar's
+// per-tensor allocation walk.
+type CapacityError struct {
+	// N is the problem size (an N×N cost matrix).
+	N int
+	// Shards is how many row-block shards the matrix was split into
+	// (1 for an unsharded solve; the chip count for a sharded fabric).
+	Shards int
+	// RowsPerTile is the derived per-tile row load.
+	RowsPerTile int
+	// NeedBytes is the minimum per-tile footprint of those rows.
+	NeedBytes int64
+	// TileMemory is the per-tile budget that NeedBytes exceeds.
+	TileMemory int64
+	// Constraint names the violated design constraint.
+	Constraint string
+}
+
+// Error implements error.
+func (e *CapacityError) Error() string {
+	return fmt.Sprintf("ipu: %s: n=%d over %d shard(s) needs %d rows/tile = %d bytes, tile budget %d",
+		e.Constraint, e.N, e.Shards, e.RowsPerTile, e.NeedBytes, e.TileMemory)
+}
+
+// AsCapacity unwraps err to its capacity report, if any.
+func AsCapacity(err error) (*CapacityError, bool) {
+	var ce *CapacityError
+	if errors.As(err, &ce) {
+		return ce, true
+	}
+	return nil, false
+}
+
+// ValidateProblem checks that an n×n cost matrix, split row-block-wise
+// into the given number of shards with each shard mapped onto one
+// chip's TilesPerIPU tiles, can fit: the rows landing on the busiest
+// tile must at least hold their float64 slack row within TileMemory.
+// The estimate is deliberately conservative (slack storage only, no
+// auxiliary tensors), so a nil return never guarantees compilation —
+// but a CapacityError proves the shape impossible before any graph is
+// built. Shards ≤ 0 means one shard per chip (c.IPUs).
+func (c Config) ValidateProblem(n, shards int) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	if n <= 0 {
+		return nil
+	}
+	if shards <= 0 {
+		shards = c.IPUs
+	}
+	rowsPerShard := (n + shards - 1) / shards
+	rowsPerTile := (rowsPerShard + c.TilesPerIPU - 1) / c.TilesPerIPU
+	need := int64(rowsPerTile) * int64(n) * 8
+	if need > int64(c.TileMemory) {
+		return &CapacityError{
+			N:           n,
+			Shards:      shards,
+			RowsPerTile: rowsPerTile,
+			NeedBytes:   need,
+			TileMemory:  int64(c.TileMemory),
+			Constraint:  "C2 tile memory",
+		}
+	}
+	return nil
+}
+
 // Tiles is the total tile count across all chips.
 func (c Config) Tiles() int { return c.IPUs * c.TilesPerIPU }
 
@@ -164,6 +236,7 @@ type Device struct {
 	allocated []int64 // bytes allocated per tile
 	stats     Stats
 	injector  faultinject.Injector
+	fabric    int // index of this chip within a multi-device fabric
 }
 
 // NewDevice creates a device for the configuration.
@@ -188,6 +261,15 @@ func (d *Device) ResetClock() { d.stats = Stats{} }
 // host transfer, and allocation. Pass nil to disable injection.
 func (d *Device) SetInjector(inj faultinject.Injector) { d.injector = inj }
 
+// SetFabricIndex labels the device with its chip index within a
+// multi-device fabric; every fault point it reports then carries the
+// index, so schedule rules with device= predicates can target it.
+// Devices outside a fabric keep the zero index.
+func (d *Device) SetFabricIndex(i int) { d.fabric = i }
+
+// FabricIndex returns the chip index set by SetFabricIndex.
+func (d *Device) FabricIndex() int { return d.fabric }
+
 // Injector returns the installed fault injector (nil when none).
 func (d *Device) Injector() faultinject.Injector { return d.injector }
 
@@ -204,6 +286,7 @@ func (d *Device) CheckFault(phase string, kind faultinject.Kind) *faultinject.Fa
 		Superstep: d.stats.Supersteps,
 		Phase:     phase,
 		Kind:      kind,
+		Device:    d.fabric,
 	})
 }
 

@@ -39,6 +39,15 @@ type Metrics struct {
 	GuardTrips          atomic.Int64
 	AttestationFailures atomic.Int64
 	RollbackEpochs      atomic.Int64
+	// Fabric telemetry (see Config.Shards and hunipu.WithShards):
+	// ShardSolves counts IPU attempts that ran sharded, DevicesLost
+	// counts chips lost mid-solve across all attempts, Reshards counts
+	// live re-shardings onto survivors, and ShardRollbacks counts
+	// cross-device checkpoint restores for transient fabric faults.
+	ShardSolves    atomic.Int64
+	DevicesLost    atomic.Int64
+	Reshards       atomic.Int64
+	ShardRollbacks atomic.Int64
 }
 
 // devIdx guards the fixed-size per-device arrays against out-of-range
@@ -102,6 +111,12 @@ func (m *Metrics) snapshot() map[string]any {
 			"guard_trips":          m.GuardTrips.Load(),
 			"attestation_failures": m.AttestationFailures.Load(),
 			"rollback_epochs":      m.RollbackEpochs.Load(),
+		},
+		"shard": map[string]int64{
+			"solves":       m.ShardSolves.Load(),
+			"devices_lost": m.DevicesLost.Load(),
+			"reshards":     m.Reshards.Load(),
+			"rollbacks":    m.ShardRollbacks.Load(),
 		},
 	}
 }

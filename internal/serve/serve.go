@@ -57,6 +57,14 @@ type Config struct {
 	// schedule-carried guard= clause (see hunipu.WithFaultSchedule);
 	// detections surface in the guard_* expvar counters either way.
 	Guard hunipu.GuardPolicy
+	// Shards, when > 0, runs every IPU attempt on a fabric of that many
+	// simulated chips (hunipu.WithShards): row-block sharding, modeled
+	// IPU-Link charging, and live re-sharding when a chip is lost.
+	// MinShardDevices is the smallest fabric a solve may continue on
+	// after losses (hunipu.WithMinShardFabric; 0 means 1). Fabric events
+	// surface in the shard_* expvar counters.
+	Shards          int
+	MinShardDevices int
 	// LatencyBudget, when positive, marks any serving attempt slower
 	// than this as a breaker failure signal even though the client
 	// still gets its answer.
@@ -142,6 +150,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	if err := cfg.Breaker.validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("serve: Shards = %d, want ≥ 0", cfg.Shards)
+	}
+	if cfg.MinShardDevices < 0 || (cfg.MinShardDevices > 0 && cfg.Shards == 0) || cfg.MinShardDevices > cfg.Shards {
+		return nil, fmt.Errorf("serve: MinShardDevices = %d with Shards = %d, want in [0, Shards] and Shards set", cfg.MinShardDevices, cfg.Shards)
 	}
 	seen := map[hunipu.Device]bool{}
 	for _, d := range cfg.Devices {
@@ -351,6 +365,12 @@ func (s *Server) process(it *item) {
 	if s.cfg.Guard != hunipu.GuardOff {
 		opts = append(opts, hunipu.WithGuard(s.cfg.Guard))
 	}
+	if s.cfg.Shards > 0 {
+		opts = append(opts, hunipu.WithShards(s.cfg.Shards))
+		if s.cfg.MinShardDevices > 0 {
+			opts = append(opts, hunipu.WithMinShardFabric(s.cfg.MinShardDevices))
+		}
+	}
 	opts = append(opts, injectorOpts(s.cfg.Inject)...)
 	if it.req.Maximize {
 		opts = append(opts, hunipu.Maximize())
@@ -378,6 +398,14 @@ func (s *Server) settle(picks []pick, n int, res *hunipu.Result, err error) {
 	if report != nil {
 		for _, a := range report.Attempts {
 			attempts[a.Device] = a
+			// Fabric telemetry: sharded attempts report lost chips and
+			// re-shardings whether or not the attempt served.
+			if a.ShardDetail != nil {
+				s.metrics.ShardSolves.Add(1)
+				s.metrics.DevicesLost.Add(int64(len(a.LostDevices)))
+				s.metrics.Reshards.Add(int64(a.Reshards))
+				s.metrics.ShardRollbacks.Add(int64(a.ShardDetail.Rollbacks))
+			}
 			// Guard telemetry: recovered detections ride on successful
 			// attempts; a terminal detection is the attempt's typed error.
 			s.metrics.GuardTrips.Add(int64(a.GuardTrips))

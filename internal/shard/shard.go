@@ -1,0 +1,387 @@
+// Package shard solves the LSAP over a fabric of K simulated IPUs by
+// row-block sharding the Hungarian algorithm, designed failure-first:
+// losing a chip mid-solve is a modeled, recoverable event rather than a
+// crash.
+//
+// The supervisor (host) holds the authoritative algorithm state and
+// runs the same six Munkres steps as the CPU baseline, but every step
+// is executed as a lockstep fabric superstep: each chip scans only its
+// own row block, partial results (column minima, zero candidates, the
+// uncovered minimum δ) are gathered to a root chip and the reduction is
+// broadcast back — with every byte that crosses chips charged against
+// ipu.Config.InterIPUBytesPerCycle, so the IPU-Link is a measured cost,
+// not an abstraction.
+//
+// Failure model. The shared fault schedule is consulted per chip, in
+// ascending chip order, at every superstep and host transfer. Announced
+// faults split two ways:
+//
+//   - Transient (linkloss, exchange, stall): every shard rolls back to
+//     the last globally consistent superstep checkpoint — a cross-device
+//     barrier snapshot of duals, slack, matching and covers — and the
+//     solve resumes. Rollbacks are bounded by MaxRetries.
+//   - Fatal (deviceloss, reset, memory): the chip is treated as lost
+//     for the remainder of the solve. The supervisor re-shards the rows
+//     over the K−1 survivors, restores the checkpoint, charges the
+//     re-upload, and resumes — or, once the fabric shrinks below
+//     MinDevices, fails with a typed *FabricError that wraps the fault
+//     so callers (and the chaos harness) classify it exactly as any
+//     other injected fault.
+//
+// Silent fault classes are out of scope here (they need the guard layer
+// in package poplar); the solver still attests its final answer against
+// the pristine input via its own dual certificate, so a corrupted
+// result can never escape silently.
+//
+// Device superstep clocks stay monotone across rollback and re-shard,
+// so one-shot schedule rules never refire on a replayed prefix (the
+// same convention the single-device recovery path follows).
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"hunipu/internal/faultinject"
+	"hunipu/internal/ipu"
+	"hunipu/internal/lsap"
+)
+
+// DefaultMaxRetries is the rollback budget when Options.MaxRetries is
+// zero: transient faults beyond this many checkpoint restores turn into
+// a typed *FabricError.
+const DefaultMaxRetries = 16
+
+// DefaultCheckpointEvery is the checkpoint cadence in fabric supersteps
+// when Options.CheckpointEvery is zero. Shorter than the single-device
+// default because a fabric loses more work per rollback: every chip
+// rewinds together.
+const DefaultCheckpointEvery = 8
+
+// Options configures a sharded solver.
+type Options struct {
+	// Config describes one chip of the fabric. Its IPUs field is
+	// ignored (each fabric member is one chip); the zero value means
+	// ipu.MK2().
+	Config ipu.Config
+	// Devices is the fabric size K (≥ 1; 0 means 1).
+	Devices int
+	// MinDevices is the smallest fabric the solve may continue on after
+	// chip losses (default 1). Below it the solve fails typed.
+	MinDevices int
+	// Fault is the shared fault injector consulted by every chip
+	// (nil = no injection). Schedules with device= predicates target
+	// individual chips by their fabric index.
+	Fault faultinject.Injector
+	// MaxRetries bounds checkpoint rollbacks for transient faults
+	// (0 = DefaultMaxRetries, negative = no retries).
+	MaxRetries int
+	// CheckpointEvery is the checkpoint cadence in fabric supersteps
+	// (0 = DefaultCheckpointEvery).
+	CheckpointEvery int64
+	// MaxSupersteps bounds a single attempt's supersteps as a watchdog
+	// against fault-wedged loops (0 = a generous size-derived budget).
+	MaxSupersteps int64
+	// Cache is the plan cache to use (nil = DefaultCache).
+	Cache *PlanCache
+}
+
+// Solver is a sharded HunIPU solver. It implements lsap.ContextSolver;
+// Solve and SolveContext are safe for concurrent use — each call builds
+// its own fabric — though calls sharing one fault Schedule share its
+// fire counters, as they would on real shared hardware.
+type Solver struct {
+	cfg        ipu.Config
+	devices    int
+	minDevices int
+	fault      faultinject.Injector
+	maxRetries int
+	ckptEvery  int64
+	maxSteps   int64
+	cache      *PlanCache
+}
+
+// New validates the options and returns a solver.
+func New(opts Options) (*Solver, error) {
+	cfg := opts.Config
+	if cfg == (ipu.Config{}) {
+		cfg = ipu.MK2()
+	}
+	cfg.IPUs = 1
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	k := opts.Devices
+	if k == 0 {
+		k = 1
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("shard: Devices = %d, want ≥ 1", opts.Devices)
+	}
+	if k > 1 && cfg.InterIPUBytesPerCycle <= 0 {
+		return nil, fmt.Errorf("shard: InterIPUBytesPerCycle = %g with %d devices, want > 0",
+			cfg.InterIPUBytesPerCycle, k)
+	}
+	min := opts.MinDevices
+	if min == 0 {
+		min = 1
+	}
+	if min < 1 || min > k {
+		return nil, fmt.Errorf("shard: MinDevices = %d, want in [1, %d]", opts.MinDevices, k)
+	}
+	retries := opts.MaxRetries
+	switch {
+	case retries == 0:
+		retries = DefaultMaxRetries
+	case retries < 0:
+		retries = 0
+	}
+	every := opts.CheckpointEvery
+	if every <= 0 {
+		every = DefaultCheckpointEvery
+	}
+	cache := opts.Cache
+	if cache == nil {
+		cache = DefaultCache
+	}
+	return &Solver{
+		cfg:        cfg,
+		devices:    k,
+		minDevices: min,
+		fault:      opts.Fault,
+		maxRetries: retries,
+		ckptEvery:  every,
+		maxSteps:   opts.MaxSupersteps,
+		cache:      cache,
+	}, nil
+}
+
+// Name implements lsap.Solver.
+func (sv *Solver) Name() string { return fmt.Sprintf("HunIPU-shard%d", sv.devices) }
+
+// Config returns the resolved per-chip configuration.
+func (sv *Solver) Config() ipu.Config { return sv.cfg }
+
+// Solve implements lsap.Solver.
+func (sv *Solver) Solve(c *lsap.Matrix) (*lsap.Solution, error) {
+	return sv.SolveContext(context.Background(), c)
+}
+
+// SolveContext implements lsap.ContextSolver.
+func (sv *Solver) SolveContext(ctx context.Context, c *lsap.Matrix) (*lsap.Solution, error) {
+	res, err := sv.SolveShards(ctx, c)
+	if err != nil {
+		return nil, err
+	}
+	return res.Solution, nil
+}
+
+// ReshardEpoch records one live re-sharding: which chip was lost, at
+// which fabric superstep, and how many survivors the rows were spread
+// back over.
+type ReshardEpoch struct {
+	// Superstep is the fabric superstep count when the loss was
+	// detected.
+	Superstep int64
+	// Lost is the fabric index of the lost chip.
+	Lost int
+	// Survivors is the fabric size after the loss.
+	Survivors int
+}
+
+// Result is the full report of one sharded solve. It is returned (with
+// whatever progress was made) alongside the error when the solve fails,
+// so callers can surface lost devices and re-shard epochs either way.
+type Result struct {
+	// Solution is the certified solution (nil on failure). Its
+	// Potentials carry the solver's own optimality certificate.
+	Solution *lsap.Solution
+	// Devices is the fabric size the solve started with.
+	Devices int
+	// Survivors is the live fabric size at the end.
+	Survivors int
+	// LostDevices lists fabric indices lost mid-solve, in loss order.
+	LostDevices []int
+	// Reshards records each live re-sharding.
+	Reshards []ReshardEpoch
+	// Rollbacks counts checkpoint restores for transient faults.
+	Rollbacks int
+	// Checkpoints counts cross-device barrier snapshots taken.
+	Checkpoints int
+	// Faults counts injected faults the fabric observed.
+	Faults int
+	// Supersteps is the total fabric superstep count, monotone across
+	// rollbacks and re-shards.
+	Supersteps int64
+	// PerDevice holds each chip's modeled execution profile, indexed by
+	// fabric index (lost chips keep the stats they accrued).
+	PerDevice []ipu.Stats
+	// ModeledCycles is the modeled wall clock in device cycles: the
+	// slowest chip's total, since the fabric advances in lockstep.
+	ModeledCycles int64
+	// CachedPlan reports whether the sharding plan came warm from the
+	// plan cache.
+	CachedPlan bool
+}
+
+// FabricError is the typed error a sharded solve fails with when the
+// fabric can no longer make progress: too many chips lost, or the
+// rollback budget exhausted by transient faults. It wraps the injected
+// fault that finished the fabric off, so errors.As against
+// *faultinject.FaultError classifies it exactly like any single-device
+// fault — the degradation ladder and the chaos harness need no new
+// cases.
+type FabricError struct {
+	// Devices is the fabric size the solve started with.
+	Devices int
+	// Survivors is the live fabric size at failure.
+	Survivors int
+	// MinDevices is the configured minimum fabric.
+	MinDevices int
+	// Lost lists the fabric indices lost before failure.
+	Lost []int
+	// Rollbacks counts checkpoint restores consumed before failure.
+	Rollbacks int
+	// Err is the underlying cause, usually a *faultinject.FaultError.
+	Err error
+}
+
+// Error implements error.
+func (e *FabricError) Error() string {
+	return fmt.Sprintf("shard: fabric of %d device(s) failed: %d survivor(s) (min %d), lost %v, %d rollback(s): %v",
+		e.Devices, e.Survivors, e.MinDevices, e.Lost, e.Rollbacks, e.Err)
+}
+
+// Unwrap exposes the underlying fault to errors.Is/As.
+func (e *FabricError) Unwrap() error { return e.Err }
+
+// AsFabric unwraps err to its fabric report, if any.
+func AsFabric(err error) (*FabricError, bool) {
+	var fe *FabricError
+	if errors.As(err, &fe) {
+		return fe, true
+	}
+	return nil, false
+}
+
+// SolveShards runs the sharded solve and returns the full Result. The
+// Result is non-nil even on error, carrying lost devices, re-shard
+// epochs and per-device stats up to the failure.
+func (sv *Solver) SolveShards(ctx context.Context, c *lsap.Matrix) (*Result, error) {
+	n := c.N
+	res := &Result{Devices: sv.devices, Survivors: sv.devices}
+	if n == 0 {
+		res.Solution = &lsap.Solution{
+			Assignment: lsap.Assignment{},
+			Potentials: &lsap.Potentials{U: []float64{}, V: []float64{}},
+		}
+		return res, nil
+	}
+	for _, v := range c.Data {
+		if v == lsap.Forbidden {
+			return res, fmt.Errorf("shard: forbidden edges unsupported; mask costs first")
+		}
+	}
+	if err := sv.cfg.ValidateProblem(n, sv.devices); err != nil {
+		return res, err
+	}
+
+	snap := sv.cache.Snapshot()
+	plan := sv.cache.PlanFor(n, sv.devices, sv.cfg)
+	res.CachedPlan = sv.cache.Snapshot().Hits > snap.Hits
+
+	f, err := newFabric(sv.cfg, sv.devices, plan, sv.fault)
+	if err != nil {
+		return res, err
+	}
+	r := &run{
+		sv:  sv,
+		f:   f,
+		st:  newRunState(n, c),
+		res: res,
+		c:   c,
+	}
+	r.checkpointNow() // epoch 0: the pristine state is always restorable
+
+	rollbacks := 0
+	for {
+		track := func() {
+			res.Survivors = f.live()
+			res.Supersteps = f.step
+			res.PerDevice = f.statsPerDevice()
+			res.ModeledCycles = f.modeledCycles()
+		}
+		err := r.attempt(ctx)
+		if err == nil {
+			track()
+			break
+		}
+		track()
+		if ctx.Err() != nil {
+			return res, ctx.Err()
+		}
+		if _, ok := AsFabric(err); ok {
+			// The watchdog already judged the attempt unrecoverable.
+			return res, err
+		}
+		fe, ok := faultinject.AsFault(err)
+		if !ok {
+			return res, err
+		}
+		res.Faults++
+		if fe.Transient() {
+			if rollbacks >= sv.maxRetries {
+				return res, &FabricError{
+					Devices:    sv.devices,
+					Survivors:  f.live(),
+					MinDevices: sv.minDevices,
+					Lost:       append([]int(nil), res.LostDevices...),
+					Rollbacks:  res.Rollbacks,
+					Err:        fmt.Errorf("rollback budget %d exhausted: %w", sv.maxRetries, fe),
+				}
+			}
+			rollbacks++
+			res.Rollbacks++
+			r.restore()
+			continue
+		}
+		// Fatal: the chip that reported the fault is gone for the rest
+		// of the solve (a reset chip would come back on real hardware,
+		// but reintegrating it mid-solve is out of scope — treat every
+		// fatal fault as a loss, the conservative reading).
+		lost := fe.Point.Device
+		f.kill(lost)
+		res.LostDevices = append(res.LostDevices, lost)
+		if f.live() < sv.minDevices {
+			return res, &FabricError{
+				Devices:    sv.devices,
+				Survivors:  f.live(),
+				MinDevices: sv.minDevices,
+				Lost:       append([]int(nil), res.LostDevices...),
+				Rollbacks:  res.Rollbacks,
+				Err:        fe,
+			}
+		}
+		f.reshard()
+		res.Reshards = append(res.Reshards, ReshardEpoch{
+			Superstep: f.step,
+			Lost:      lost,
+			Survivors: f.live(),
+		})
+		r.restore()
+	}
+
+	sol, err := r.finish(ctx)
+	if err != nil {
+		res.Survivors = f.live()
+		res.Supersteps = f.step
+		return res, err
+	}
+	res.Solution = sol
+	res.Survivors = f.live()
+	res.Supersteps = f.step
+	res.PerDevice = f.statsPerDevice()
+	res.ModeledCycles = f.modeledCycles()
+	return res, nil
+}

@@ -1,0 +1,647 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"hunipu/internal/faultinject"
+	"hunipu/internal/ipu"
+	"hunipu/internal/lsap"
+)
+
+// fabric is the set of simulated chips a sharded solve runs on, plus
+// the row-block layout. The supervisor (host) executes the algorithm
+// natively; the fabric prices what happened and reports faults.
+type fabric struct {
+	cfg    ipu.Config
+	devs   []*ipu.Device
+	alive  []bool
+	ranges []Span
+	step   int64 // fabric superstep counter, monotone for the whole solve
+}
+
+func newFabric(cfg ipu.Config, k int, plan *Plan, inj faultinject.Injector) (*fabric, error) {
+	f := &fabric{
+		cfg:    cfg,
+		devs:   make([]*ipu.Device, k),
+		alive:  make([]bool, k),
+		ranges: append([]Span(nil), plan.Ranges...),
+	}
+	for d := 0; d < k; d++ {
+		dev, err := ipu.NewDevice(cfg)
+		if err != nil {
+			return nil, err
+		}
+		dev.SetFabricIndex(d)
+		dev.SetInjector(inj)
+		f.devs[d] = dev
+		f.alive[d] = true
+	}
+	return f, nil
+}
+
+// live returns the number of chips still in the fabric.
+func (f *fabric) live() int {
+	n := 0
+	for _, a := range f.alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// root returns the lowest live fabric index — the chip that hosts the
+// gather/reduce side of every collective.
+func (f *fabric) root() int {
+	for d, a := range f.alive {
+		if a {
+			return d
+		}
+	}
+	return -1
+}
+
+// kill removes a chip from the fabric. Its stats freeze where they are.
+func (f *fabric) kill(d int) {
+	if d >= 0 && d < len(f.alive) {
+		f.alive[d] = false
+	}
+}
+
+// reshard recomputes the row-block layout over the survivors. Post-loss
+// layouts are dynamic (they depend on which chip died when), so they
+// are computed fresh rather than cached.
+func (f *fabric) reshard() {
+	n := 0
+	for _, s := range f.ranges {
+		if s.Hi > n {
+			n = s.Hi
+		}
+	}
+	spans := partition(n, f.live())
+	si := 0
+	for d := range f.ranges {
+		if f.alive[d] {
+			f.ranges[d] = spans[si]
+			si++
+		} else {
+			f.ranges[d] = Span{}
+		}
+	}
+}
+
+// hostPoint consults the fault schedule at a host-transfer point on
+// every live chip, ascending, and returns the first fault.
+func (f *fabric) hostPoint(phase string, kind faultinject.Kind) error {
+	for d, dev := range f.devs {
+		if !f.alive[d] {
+			continue
+		}
+		if fe := dev.CheckFault(phase, kind); fe != nil {
+			return fe
+		}
+	}
+	return nil
+}
+
+func (f *fabric) statsPerDevice() []ipu.Stats {
+	out := make([]ipu.Stats, len(f.devs))
+	for d, dev := range f.devs {
+		out[d] = dev.Stats()
+	}
+	return out
+}
+
+// modeledCycles is the slowest chip's clock: the fabric advances in
+// lockstep, so the laggard sets the pace.
+func (f *fabric) modeledCycles() int64 {
+	var max int64
+	for _, dev := range f.devs {
+		if c := dev.Stats().TotalCycles(); c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// phaseCharge describes one fabric superstep's cost shape. Collectives
+// follow a gather-to-root / broadcast-from-root pattern; every byte
+// that crosses chips is charged once, at its receiver, against the
+// IPU-Link rate (matching the receiver-side convention of
+// ipu.Device.Superstep).
+type phaseCharge struct {
+	// phase names the superstep for fault schedules and profiles.
+	phase string
+	// scan charges each chip a full pass over its row block
+	// (rows × n slack cells on the chip's tiles).
+	scan bool
+	// cells adds a flat per-chip cycle count (supervisor-side phases).
+	cells int64
+	// gather is the flat byte count each non-root chip sends to the
+	// root; gatherPerRow adds a per-owned-row amount (candidate lists).
+	gather       int64
+	gatherPerRow int64
+	// scatter is the byte count the root broadcasts to each non-root.
+	scatter int64
+}
+
+// superstep runs one lockstep fabric superstep: each live chip is asked
+// for a fault (ascending fabric order, so replays are deterministic)
+// and then charged its share of compute and exchange. A fault aborts
+// the superstep — chips after the faulting one are not charged, as they
+// would have stalled at the BSP barrier.
+func (r *run) superstep(pc phaseCharge) error {
+	f := r.f
+	n := int64(r.st.n)
+	root := f.root()
+	live := int64(f.live())
+
+	// Total gather traffic lands on the root; per-sender amounts vary
+	// with row ownership, so sum them first.
+	var totalGather int64
+	for d := range f.devs {
+		if !f.alive[d] || d == root {
+			continue
+		}
+		totalGather += pc.gather + pc.gatherPerRow*int64(f.ranges[d].Len())
+	}
+
+	for d, dev := range f.devs {
+		if !f.alive[d] {
+			continue
+		}
+		if fe := dev.CheckFault(pc.phase, faultinject.KindSuperstep); fe != nil {
+			r.lastFault = fe
+			return fe
+		}
+		rows := int64(f.ranges[d].Len())
+		cells := pc.cells
+		if pc.scan {
+			cells += rows * n
+		}
+		var tileCycles map[int]int64
+		if cells > 0 {
+			tilesUsed := int64(f.cfg.TilesPerIPU)
+			if rows > 0 && rows < tilesUsed {
+				tilesUsed = rows
+			}
+			tileCycles = map[int]int64{0: (cells + tilesUsed - 1) / tilesUsed}
+		}
+		var in, out, cross int64
+		if d == root {
+			in = totalGather
+			out = (live - 1) * pc.scatter
+			cross = totalGather
+		} else {
+			in = pc.scatter
+			out = pc.gather + pc.gatherPerRow*rows
+			cross = pc.scatter
+		}
+		var bytesIn, bytesOut map[int]int64
+		if in > 0 {
+			bytesIn = map[int]int64{0: in}
+		}
+		if out > 0 {
+			bytesOut = map[int]int64{0: out}
+		}
+		dev.Superstep(tileCycles, bytesIn, bytesOut, cross, rows)
+	}
+	f.step++
+	return nil
+}
+
+// runState is the authoritative algorithm state the supervisor holds:
+// the sharded slack matrix, the explicit duals that certify the final
+// matching, and the Munkres bookkeeping arrays. A checkpoint is a deep
+// copy of this struct — one snapshot captures the whole fabric, which
+// is what makes the rollback barrier globally consistent.
+type runState struct {
+	n       int
+	s       []float64 // slack, row-major; slack ≡ input − u − v
+	u, v    []float64 // dual potentials (the optimality certificate)
+	starred []int     // starred[i] = starred column of row i, or -1
+	colStar []int     // colStar[j] = starred row of column j, or -1
+	primed  []int     // primed[i] = primed column of row i, or -1
+	rowCov  []bool
+	colCov  []bool
+	inited  bool // upload + steps 1–2 complete
+}
+
+func newRunState(n int, c *lsap.Matrix) *runState {
+	st := &runState{
+		n:       n,
+		s:       append([]float64(nil), c.Data...),
+		u:       make([]float64, n),
+		v:       make([]float64, n),
+		starred: make([]int, n),
+		colStar: make([]int, n),
+		primed:  make([]int, n),
+		rowCov:  make([]bool, n),
+		colCov:  make([]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		st.starred[i] = -1
+		st.colStar[i] = -1
+		st.primed[i] = -1
+	}
+	return st
+}
+
+func (st *runState) clone() *runState {
+	cp := &runState{
+		n:       st.n,
+		s:       append([]float64(nil), st.s...),
+		u:       append([]float64(nil), st.u...),
+		v:       append([]float64(nil), st.v...),
+		starred: append([]int(nil), st.starred...),
+		colStar: append([]int(nil), st.colStar...),
+		primed:  append([]int(nil), st.primed...),
+		rowCov:  append([]bool(nil), st.rowCov...),
+		colCov:  append([]bool(nil), st.colCov...),
+		inited:  st.inited,
+	}
+	return cp
+}
+
+// run is one sharded solve in flight.
+type run struct {
+	sv  *Solver
+	f   *fabric
+	st  *runState
+	res *Result
+	c   *lsap.Matrix
+
+	ck        *runState // last globally consistent checkpoint
+	ckStep    int64     // fabric superstep the checkpoint was taken at
+	needWrite bool      // state must be re-uploaded before resuming
+	lastFault *faultinject.FaultError
+}
+
+// checkpointNow snapshots the state without consulting the schedule
+// (used for the free epoch-0 checkpoint of the pristine input).
+func (r *run) checkpointNow() {
+	r.ck = r.st.clone()
+	r.ckStep = r.f.step
+	r.res.Checkpoints++
+}
+
+// checkpoint takes a cross-device barrier snapshot, charging the
+// host-read points so stalls can hit checkpoint traffic too.
+func (r *run) checkpoint() error {
+	if err := r.f.hostPoint("shard:ckpt", faultinject.KindHostRead); err != nil {
+		r.noteFault(err)
+		return err
+	}
+	r.checkpointNow()
+	return nil
+}
+
+func (r *run) maybeCheckpoint() error {
+	if r.f.step-r.ckStep >= r.sv.ckptEvery {
+		return r.checkpoint()
+	}
+	return nil
+}
+
+// restore rewinds the whole fabric to the last checkpoint. The
+// supervisor copy is free; the re-upload of every chip's row block is
+// charged (and fault-checked) at the start of the next attempt.
+func (r *run) restore() {
+	r.st = r.ck.clone()
+	r.needWrite = true
+}
+
+func (r *run) noteFault(err error) {
+	if fe, ok := faultinject.AsFault(err); ok {
+		r.lastFault = fe
+	}
+}
+
+// maxSteps is the per-attempt superstep watchdog budget.
+func (r *run) maxSteps() int64 {
+	if r.sv.maxSteps > 0 {
+		return r.sv.maxSteps
+	}
+	n := int64(r.st.n)
+	return 20*n*n + 4096
+}
+
+// watchdog converts a wedged attempt (a fault storm that keeps the
+// solve from reaching a new checkpoint) into a typed error wrapping the
+// last observed fault, so the run still classifies as fault-caused.
+func (r *run) watchdog(start int64) error {
+	if r.f.step-start <= r.maxSteps() {
+		return nil
+	}
+	cause := error(fmt.Errorf("no fault observed"))
+	if r.lastFault != nil {
+		cause = r.lastFault
+	}
+	return &FabricError{
+		Devices:    r.sv.devices,
+		Survivors:  r.f.live(),
+		MinDevices: r.sv.minDevices,
+		Lost:       append([]int(nil), r.res.LostDevices...),
+		Rollbacks:  r.res.Rollbacks,
+		Err:        fmt.Errorf("superstep watchdog tripped after %d supersteps: %w", r.maxSteps(), cause),
+	}
+}
+
+// attempt runs the solve from the current state until the matching is
+// complete (including the final result download) or a fault surfaces.
+func (r *run) attempt(ctx context.Context) error {
+	start := r.f.step
+	if r.needWrite {
+		if err := r.f.hostPoint("shard:rollback", faultinject.KindHostWrite); err != nil {
+			r.noteFault(err)
+			return err
+		}
+		r.needWrite = false
+	}
+	if !r.st.inited {
+		if err := r.f.hostPoint("shard:upload", faultinject.KindHostWrite); err != nil {
+			r.noteFault(err)
+			return err
+		}
+		if err := r.initSteps(); err != nil {
+			return err
+		}
+		r.st.inited = true
+		if err := r.checkpoint(); err != nil {
+			return err
+		}
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := r.watchdog(start); err != nil {
+			return err
+		}
+		// Checkpoints are taken only here, at the top of the outer loop:
+		// after an augment the covers and primes are clear, so a restored
+		// state is always a valid step-3 entry point. Snapshotting inside
+		// the zero-search would capture a mid-search cover pattern that
+		// re-running step 3 on resume would silently corrupt.
+		if err := r.maybeCheckpoint(); err != nil {
+			return err
+		}
+		done, err := r.step3Cover()
+		if err != nil {
+			return err
+		}
+		if done {
+			break
+		}
+		for augmented := false; !augmented; {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := r.watchdog(start); err != nil {
+				return err
+			}
+			i, j, found, err := r.step4Scan()
+			if err != nil {
+				return err
+			}
+			if !found {
+				if err := r.step6Update(); err != nil {
+					return err
+				}
+				continue
+			}
+			r.st.primed[i] = j
+			if sj := r.st.starred[i]; sj >= 0 {
+				// Starred zero in the primed row: cover the row, free
+				// the star's column (broadcast in step4's scatter).
+				r.st.rowCov[i] = true
+				r.st.colCov[sj] = false
+				continue
+			}
+			if err := r.step5Augment(i, j); err != nil {
+				return err
+			}
+			augmented = true
+		}
+	}
+	if err := r.f.hostPoint("shard:download", faultinject.KindHostRead); err != nil {
+		r.noteFault(err)
+		return err
+	}
+	return nil
+}
+
+// initSteps runs steps 1–2: row reduction (local per shard), column
+// reduction (partial minima gathered, v broadcast), and the greedy
+// initial matching (zero candidates gathered, stars broadcast).
+func (r *run) initSteps() error {
+	st := r.st
+	n := st.n
+	if err := r.superstep(phaseCharge{phase: "shard:s1_rows", scan: true}); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		row := st.s[i*n : (i+1)*n]
+		m := row[0]
+		for _, x := range row[1:] {
+			if x < m {
+				m = x
+			}
+		}
+		for j := range row {
+			row[j] -= m
+		}
+		st.u[i] += m
+	}
+	if err := r.superstep(phaseCharge{phase: "shard:s1_cols", scan: true, gather: int64(n) * 8, scatter: int64(n) * 8}); err != nil {
+		return err
+	}
+	for j := 0; j < n; j++ {
+		m := st.s[j]
+		for i := 1; i < n; i++ {
+			if x := st.s[i*n+j]; x < m {
+				m = x
+			}
+		}
+		if m != 0 {
+			for i := 0; i < n; i++ {
+				st.s[i*n+j] -= m
+			}
+		}
+		st.v[j] += m
+	}
+	if err := r.superstep(phaseCharge{phase: "shard:s2_star", scan: true, gatherPerRow: 16, scatter: int64(n) * 8}); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if st.s[i*n+j] == 0 && st.starred[i] < 0 && st.colStar[j] < 0 {
+				st.starred[i] = j
+				st.colStar[j] = i
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// step3Cover covers every starred column and reports completion.
+func (r *run) step3Cover() (bool, error) {
+	st := r.st
+	if err := r.superstep(phaseCharge{phase: "shard:s3_cover", cells: int64(st.n), scatter: int64(st.n)}); err != nil {
+		return false, err
+	}
+	covered := 0
+	for j := 0; j < st.n; j++ {
+		st.colCov[j] = st.colStar[j] >= 0
+		if st.colCov[j] {
+			covered++
+		}
+	}
+	return covered == st.n, nil
+}
+
+// step4Scan searches every shard for an uncovered zero; candidates are
+// gathered and the globally first (row-major, so device-count
+// independent) wins.
+func (r *run) step4Scan() (int, int, bool, error) {
+	st := r.st
+	if err := r.superstep(phaseCharge{phase: "shard:s4_scan", scan: true, gather: 16, scatter: 24}); err != nil {
+		return 0, 0, false, err
+	}
+	n := st.n
+	for i := 0; i < n; i++ {
+		if st.rowCov[i] {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if !st.colCov[j] && st.s[i*n+j] == 0 {
+				return i, j, true, nil
+			}
+		}
+	}
+	return 0, 0, false, nil
+}
+
+// step5Augment flips the alternating star/prime path from (i, j) and
+// broadcasts the new matching to every shard.
+func (r *run) step5Augment(i, j int) error {
+	st := r.st
+	n := int64(st.n)
+	if err := r.superstep(phaseCharge{phase: "shard:s5_augment", cells: 2 * n, scatter: n * 4}); err != nil {
+		return err
+	}
+	type pos struct{ r, c int }
+	path := []pos{{i, j}}
+	for {
+		sr := st.colStar[path[len(path)-1].c]
+		if sr < 0 {
+			break
+		}
+		path = append(path, pos{sr, path[len(path)-1].c})
+		path = append(path, pos{sr, st.primed[sr]})
+	}
+	for k, p := range path {
+		if k%2 == 0 { // primed zero → star it
+			st.starred[p.r] = p.c
+			st.colStar[p.c] = p.r
+		}
+	}
+	for r2 := range st.primed {
+		st.primed[r2] = -1
+		st.rowCov[r2] = false
+	}
+	for c2 := range st.colCov {
+		st.colCov[c2] = false
+	}
+	return nil
+}
+
+// step6Update finds the global minimum uncovered slack δ (local minima
+// gathered, δ broadcast) and applies the dual update: δ joins u on
+// uncovered rows and leaves v on covered columns, with the sharded
+// slack updated in place so slack ≡ input − u − v is preserved.
+func (r *run) step6Update() error {
+	st := r.st
+	n := st.n
+	if err := r.superstep(phaseCharge{phase: "shard:s6_min", scan: true, gather: 8, scatter: 8}); err != nil {
+		return err
+	}
+	min := -1.0
+	for i := 0; i < n; i++ {
+		if st.rowCov[i] {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if st.colCov[j] {
+				continue
+			}
+			if x := st.s[i*n+j]; min < 0 || x < min {
+				min = x
+			}
+		}
+	}
+	if min <= 0 {
+		return fmt.Errorf("shard: step 6 found no positive uncovered minimum (min = %g)", min)
+	}
+	if err := r.superstep(phaseCharge{phase: "shard:s6_update", scan: true}); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			switch {
+			case st.rowCov[i] && st.colCov[j]:
+				st.s[i*n+j] += min
+			case !st.rowCov[i] && !st.colCov[j]:
+				st.s[i*n+j] -= min
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !st.rowCov[i] {
+			st.u[i] += min
+		}
+	}
+	for j := 0; j < n; j++ {
+		if st.colCov[j] {
+			st.v[j] -= min
+		}
+	}
+	return nil
+}
+
+// finish builds the solution and attests it against the pristine input
+// via the solver's own dual certificate, so a wrong matching can never
+// escape silently — mirroring the mandatory attestation of the
+// single-device core.
+func (r *run) finish(ctx context.Context) (*lsap.Solution, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	st := r.st
+	a := make(lsap.Assignment, st.n)
+	copy(a, st.starred)
+	p := &lsap.Potentials{
+		U: append([]float64(nil), st.u...),
+		V: append([]float64(nil), st.v...),
+	}
+	var scale float64
+	for _, x := range r.c.Data {
+		if ax := math.Abs(x); ax > scale {
+			scale = ax
+		}
+	}
+	tol := 1e-9 * (1 + scale)
+	if err := lsap.VerifyOptimal(r.c, a, *p, tol); err != nil {
+		return nil, &faultinject.CorruptionError{
+			Guard:    "shard:attestation",
+			Detected: r.f.step,
+			Injected: -1,
+			Latency:  -1,
+			Err:      err,
+		}
+	}
+	return &lsap.Solution{Assignment: a, Cost: a.Cost(r.c), Potentials: p}, nil
+}

@@ -11,6 +11,7 @@ import (
 	"hunipu/internal/fastha"
 	"hunipu/internal/faultinject"
 	"hunipu/internal/lsap"
+	"hunipu/internal/shard"
 )
 
 // ErrInvalidOption is wrapped by every option-validation failure
@@ -116,6 +117,18 @@ type Attempt struct {
 	IPUDetail *core.Result
 	// GPUDetail is the FastHA profile of a successful GPU attempt.
 	GPUDetail *fastha.Result
+	// LostDevices lists fabric indices of chips lost during a sharded
+	// IPU attempt (WithShards), in loss order; Reshards counts the live
+	// re-shardings that absorbed those losses. Both are populated on
+	// failed attempts too, so the Report shows what the fabric survived
+	// before the fallback ladder took over.
+	LostDevices []int
+	Reshards    int
+	// ShardDetail is the full fabric report of a sharded IPU attempt
+	// (per-chip stats, re-shard epochs, rollbacks); nil for unsharded
+	// attempts. Unlike IPUDetail it is populated even when the attempt
+	// failed.
+	ShardDetail *shard.Result
 }
 
 // Report describes how a solve reached its answer.
@@ -178,6 +191,17 @@ func (c *config) validate() error {
 	}
 	if !c.guard.valid() {
 		return fmt.Errorf("hunipu: WithGuard: unknown policy %v: %w", c.guard, ErrInvalidOption)
+	}
+	if c.shards < 0 {
+		return fmt.Errorf("hunipu: WithShards: k = %d, want ≥ 1: %w", c.shards, ErrInvalidOption)
+	}
+	if c.minFabric != 0 {
+		if c.shards == 0 {
+			return fmt.Errorf("hunipu: WithMinShardFabric requires WithShards: %w", ErrInvalidOption)
+		}
+		if c.minFabric < 1 || c.minFabric > c.shards {
+			return fmt.Errorf("hunipu: WithMinShardFabric: min = %d, want in [1, %d]: %w", c.minFabric, c.shards, ErrInvalidOption)
+		}
 	}
 	seen := map[Device]bool{c.device: true}
 	for _, d := range c.fallback {
@@ -295,6 +319,9 @@ func (c *config) solveOn(ctx context.Context, d Device, m *lsap.Matrix) (*lsap.S
 	att := Attempt{Device: d}
 	switch d {
 	case DeviceIPU:
+		if c.shards > 0 {
+			return c.solveSharded(ctx, m)
+		}
 		o := c.ipuOpts
 		inj := c.injectorFor(d)
 		if inj != nil {

@@ -1,0 +1,79 @@
+package hunipu
+
+import (
+	"context"
+	"time"
+
+	"hunipu/internal/lsap"
+	"hunipu/internal/shard"
+)
+
+// WithShards runs the IPU attempt on a fabric of k simulated chips
+// instead of a single device: the cost matrix is row-block sharded
+// across the fabric, cross-chip traffic is charged against the modeled
+// IPU-Link bandwidth, and losing a chip mid-solve is a recoverable
+// event — the fabric re-shards over the survivors and resumes from the
+// last globally consistent checkpoint (see package internal/shard and
+// DESIGN.md §5f).
+//
+//	hunipu.Solve(costs, hunipu.WithShards(4),
+//		hunipu.WithFaultSchedule("deviceloss at=12 device=2"))
+//
+// k must be ≥ 1; WithShards(1) exercises the sharded execution path on
+// a single chip. The sharded path covers the IPU attempt only — GPU and
+// CPU fallbacks are unaffected — and it performs its own end-of-solve
+// dual-certificate attestation, so WithGuard policies (which instrument
+// the single-device engine) are ignored on sharded attempts.
+func WithShards(k int) Option {
+	return func(c *config) { c.shards = k }
+}
+
+// WithMinShardFabric sets the smallest fabric a sharded solve may
+// continue on after chip losses (default 1, i.e. the solve survives
+// down to a single chip). Once survivors drop below min the IPU attempt
+// fails with a typed *shard.FabricError and the fallback chain, if any,
+// takes over. Requires WithShards; min must be in [1, k].
+func WithMinShardFabric(min int) Option {
+	return func(c *config) { c.minFabric = min }
+}
+
+// solveSharded runs the IPU attempt on the sharded fabric solver.
+// Mirrors the single-device branch of solveOn: options are translated,
+// fault counters are read around the solve, and the Attempt records the
+// fabric's work — including on failure, since SolveShards reports lost
+// devices and re-shard epochs either way.
+func (c *config) solveSharded(ctx context.Context, m *lsap.Matrix) (*lsap.Solution, time.Duration, Attempt) {
+	att := Attempt{Device: DeviceIPU}
+	inj := c.injectorFor(DeviceIPU)
+	so := shard.Options{
+		Config:     c.ipuOpts.Config,
+		Devices:    c.shards,
+		MinDevices: c.minFabric,
+		Fault:      inj,
+	}
+	if c.retries > 0 {
+		so.MaxRetries = c.retries
+	}
+	s, err := shard.New(so)
+	if err != nil {
+		att.Err = err
+		return nil, 0, att
+	}
+	before := firedCount(inj)
+	r, err := s.SolveShards(ctx, m)
+	att.Faults = firedCount(inj) - before
+	if r != nil {
+		att.ShardDetail = r
+		att.Retries = r.Rollbacks
+		att.CheckpointsSaved = r.Checkpoints
+		att.CheckpointsRestored = r.Rollbacks + len(r.Reshards)
+		att.LostDevices = append([]int(nil), r.LostDevices...)
+		att.Reshards = len(r.Reshards)
+	}
+	if err != nil {
+		att.Err = err
+		return nil, 0, att
+	}
+	modeled := time.Duration(float64(r.ModeledCycles) / s.Config().ClockHz * 1e9)
+	return r.Solution, modeled, att
+}

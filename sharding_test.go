@@ -1,0 +1,116 @@
+package hunipu
+
+import (
+	"errors"
+	"testing"
+
+	"hunipu/internal/shard"
+)
+
+// TestShardedSolveMatchesSingleDevice pins the public sharded path:
+// WithShards(k) must return the same optimum as the default
+// single-device solve, with the Report routed through the fabric.
+func TestShardedSolveMatchesSingleDevice(t *testing.T) {
+	costs := testCosts(24, 5)
+	want, err := Solve(costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 2, 4} {
+		got, err := Solve(costs, WithShards(k))
+		if err != nil {
+			t.Fatalf("WithShards(%d): %v", k, err)
+		}
+		if got.Cost != want.Cost {
+			t.Fatalf("WithShards(%d) cost = %g, single-device cost = %g", k, got.Cost, want.Cost)
+		}
+		att := got.Report.Attempts[0]
+		if att.ShardDetail == nil {
+			t.Fatalf("WithShards(%d): Attempt.ShardDetail missing", k)
+		}
+		if att.ShardDetail.Devices != k || att.ShardDetail.Survivors != k {
+			t.Fatalf("WithShards(%d): fabric %d/%d survivors", k, att.ShardDetail.Devices, att.ShardDetail.Survivors)
+		}
+		if k > 1 && got.Modeled <= 0 {
+			t.Fatalf("WithShards(%d): Modeled = %v, want > 0", k, got.Modeled)
+		}
+	}
+}
+
+// TestShardedDeviceLossRecorded loses one chip of a 4-chip fabric
+// mid-solve: the answer must stay optimal and the public Attempt must
+// record the lost device and the re-shard.
+func TestShardedDeviceLossRecorded(t *testing.T) {
+	costs := testCosts(24, 6)
+	clean, err := Solve(costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(costs,
+		WithShards(4),
+		WithFaultSchedule("deviceloss at=12 device=2"),
+	)
+	if err != nil {
+		t.Fatalf("fabric did not survive chip loss: %v", err)
+	}
+	if res.Cost != clean.Cost {
+		t.Fatalf("post-loss cost = %g, fault-free cost = %g", res.Cost, clean.Cost)
+	}
+	att := res.Report.Attempts[0]
+	if len(att.LostDevices) != 1 || att.LostDevices[0] != 2 {
+		t.Fatalf("Attempt.LostDevices = %v, want [2]", att.LostDevices)
+	}
+	if att.Reshards != 1 {
+		t.Fatalf("Attempt.Reshards = %d, want 1", att.Reshards)
+	}
+	if att.ShardDetail.Survivors != 3 {
+		t.Fatalf("ShardDetail.Survivors = %d, want 3", att.ShardDetail.Survivors)
+	}
+}
+
+// TestShardedFabricCollapseFallsBack drops the fabric below the
+// configured minimum: the IPU attempt fails typed and the chain
+// degrades to the CPU, with the failed attempt still carrying the
+// fabric report.
+func TestShardedFabricCollapseFallsBack(t *testing.T) {
+	costs := testCosts(24, 7)
+	res, err := Solve(costs,
+		WithShards(2),
+		WithMinShardFabric(2),
+		WithFaultSchedule("deviceloss at=8 device=1"),
+		WithFallback(DeviceCPU),
+	)
+	if err != nil {
+		t.Fatalf("fallback chain failed: %v", err)
+	}
+	if res.Device != DeviceCPU || !res.Report.FellBack {
+		t.Fatalf("served by %v (FellBack=%v), want CPU fallback", res.Device, res.Report.FellBack)
+	}
+	att := res.Report.Attempts[0]
+	var fe *shard.FabricError
+	if !errors.As(att.Err, &fe) {
+		t.Fatalf("IPU attempt error = %v, want *shard.FabricError", att.Err)
+	}
+	if len(att.LostDevices) != 1 || att.LostDevices[0] != 1 || att.ShardDetail == nil {
+		t.Fatalf("failed attempt lost report: LostDevices=%v ShardDetail=%v", att.LostDevices, att.ShardDetail)
+	}
+}
+
+// TestShardOptionValidation pins the typed rejections of the sharding
+// options.
+func TestShardOptionValidation(t *testing.T) {
+	costs := testCosts(4, 8)
+	for _, tc := range []struct {
+		name string
+		opts []Option
+	}{
+		{"negative shards", []Option{WithShards(-1)}},
+		{"min without shards", []Option{WithMinShardFabric(2)}},
+		{"min above shards", []Option{WithShards(2), WithMinShardFabric(3)}},
+		{"min below one", []Option{WithShards(2), WithMinShardFabric(-1)}},
+	} {
+		if _, err := Solve(costs, tc.opts...); !errors.Is(err, ErrInvalidOption) {
+			t.Errorf("%s: err = %v, want ErrInvalidOption", tc.name, err)
+		}
+	}
+}
