@@ -13,7 +13,8 @@
 //	                  guard trips / attestation failures / rollback epochs,
 //	                  compiled-program cache hits / misses / evictions /
 //	                  builds / in-flight under "progcache", sharded-solve
-//	                  counts / devices lost / reshards under "shard")
+//	                  counts / devices lost / reshards / frame retransmits /
+//	                  quarantined chips under "shard")
 //
 // Shedding is typed on the wire: 429 overloaded, 422 deadline too
 // short, 503 draining / no device, 504 deadline expired mid-solve,
@@ -26,6 +27,11 @@
 //	hunipud -faults-ipu 'reset every=1 times=40'   # chaos drill
 //	hunipud -progcache 32                          # cache 32 compiled shapes
 //	hunipud -shards 4 -min-fabric 2                # 4-chip fabric, survive down to 2
+//
+// Sharded solves are guarded by default (GuardChecksums): collective
+// frames are checksummed and retransmitted, shard row blocks are
+// probed, Byzantine chips are quarantined, and answers are attested.
+// Pass -guard off explicitly to measure the unguarded fabric.
 package main
 
 import (
@@ -132,6 +138,12 @@ func (f *flags) serverConfig() (serve.Config, error) {
 	if err != nil {
 		return serve.Config{}, fmt.Errorf("-guard: %w", err)
 	}
+	guardSet := false
+	flag.Visit(func(fl *flag.Flag) {
+		if fl.Name == "guard" {
+			guardSet = true
+		}
+	})
 	cfg := serve.Config{
 		Devices:         devices,
 		Workers:         f.workers,
@@ -139,6 +151,7 @@ func (f *flags) serverConfig() (serve.Config, error) {
 		Retries:         f.retries,
 		Backoff:         f.backoff,
 		Guard:           guard,
+		GuardSet:        guardSet,
 		Shards:          f.shards,
 		MinShardDevices: f.minFabric,
 		LatencyBudget:   f.latencyBudget,

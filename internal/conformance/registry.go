@@ -32,6 +32,7 @@ import (
 	"hunipu/internal/ipu"
 	"hunipu/internal/ipuauction"
 	"hunipu/internal/lsap"
+	"hunipu/internal/poplar"
 	"hunipu/internal/shard"
 )
 
@@ -126,14 +127,14 @@ func Registry() []Entry {
 		{
 			Name: "HunIPU-shard2",
 			New: func() (lsap.Solver, error) {
-				return shard.New(shard.Options{Config: smallIPU(), Devices: 2, Cache: shard.NewPlanCache()})
+				return shard.New(shard.Options{Config: smallIPU(), Devices: 2, Guard: poplar.GuardChecksums, Cache: shard.NewPlanCache()})
 			},
 			Certifying: true,
 		},
 		{
 			Name: "HunIPU-shard4",
 			New: func() (lsap.Solver, error) {
-				return shard.New(shard.Options{Config: smallIPU(), Devices: 4, Cache: shard.NewPlanCache()})
+				return shard.New(shard.Options{Config: smallIPU(), Devices: 4, Guard: poplar.GuardChecksums, Cache: shard.NewPlanCache()})
 			},
 			Certifying: true,
 		},

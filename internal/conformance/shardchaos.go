@@ -8,6 +8,7 @@ import (
 	"hunipu/internal/cpuhung"
 	"hunipu/internal/faultinject"
 	"hunipu/internal/lsap"
+	"hunipu/internal/poplar"
 	"hunipu/internal/shard"
 )
 
@@ -90,11 +91,15 @@ func RunShardChaos(cfg ShardChaosConfig) (*ShardChaosReport, error) {
 			sched := faultinject.RandomShardSchedule(rng, k)
 			for _, in := range instances {
 				clone := sched.Clone()
+				// Guarded at the sharded default: loud loss schedules never
+				// trip the guard, but the sweep should exercise the same
+				// configuration production fabrics run.
 				s, err := shard.New(shard.Options{
 					Config:     smallIPU(),
 					Devices:    k,
 					Fault:      clone,
 					MaxRetries: cfg.Retries,
+					Guard:      poplar.GuardChecksums,
 					Cache:      cache,
 				})
 				if err != nil {

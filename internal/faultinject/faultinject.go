@@ -66,6 +66,17 @@ const (
 	// Transient: after the link recovers, the fabric resumes from the
 	// last globally consistent checkpoint.
 	LinkLoss
+	// SilentLinkBitflip flips a bit in a collective frame on the wire
+	// between two chips of a fabric, past any fabric-level CRC. Silent:
+	// no error at the point — a frame checksum verified on receipt (the
+	// sharded guard layer) detects it and triggers a retransmit; an
+	// unguarded fabric commits the corrupted frame.
+	SilentLinkBitflip
+	// SilentShardBitflip flips a bit in one shard's device-resident row
+	// block (tile SRAM holding that chip's slice of the slack matrix).
+	// Silent: only the per-shard incremental checksums or the
+	// supervisor's invariant cross-check can see it.
+	SilentShardBitflip
 
 	numClasses
 )
@@ -84,6 +95,8 @@ var classNames = [numClasses]string{
 	SilentStaleRead:       "stale",
 	DeviceLoss:            "deviceloss",
 	LinkLoss:              "linkloss",
+	SilentLinkBitflip:     "linkflip",
+	SilentShardBitflip:    "shardflip",
 }
 
 var classTransient = [numClasses]bool{
@@ -96,18 +109,22 @@ var classTransient = [numClasses]bool{
 	SilentStaleRead:       true,
 	DeviceLoss:            false,
 	LinkLoss:              true,
+	SilentLinkBitflip:     true,
+	SilentShardBitflip:    true,
 }
 
 var classSilent = [numClasses]bool{
 	SilentTileBitflip:     true,
 	SilentExchangeBitflip: true,
 	SilentStaleRead:       true,
+	SilentLinkBitflip:     true,
+	SilentShardBitflip:    true,
 }
 
 // Compile-time exhaustiveness pin: bump the constant when (and only
 // when) a new Class is added, after extending the tables above and
 // Rule.appliesTo. TestClassExhaustiveness enforces the rest.
-var _ = [1]struct{}{}[numClasses-9]
+var _ = [1]struct{}{}[numClasses-11]
 
 // String implements fmt.Stringer using the spec-grammar keywords.
 func (c Class) String() string {
@@ -260,6 +277,12 @@ type CorruptionError struct {
 	// PoisonedEpochs counts checkpoint epochs discarded as corrupted
 	// during certified rollback.
 	PoisonedEpochs int
+	// Device is the fabric index of the chip the detection attributes
+	// the corruption to (-1 when unattributed: single-device engines,
+	// output attestation, supervisor-side detections). A fabric
+	// supervisor uses the attribution to strike — and eventually
+	// quarantine — the offending shard.
+	Device int
 	// Err is the underlying detector report.
 	Err error
 }

@@ -45,7 +45,7 @@ type Rule struct {
 func (r Rule) appliesTo(k Kind) bool {
 	switch r.Class {
 	case ExchangeCorruption, DeviceReset, SilentTileBitflip, SilentExchangeBitflip, SilentStaleRead,
-		DeviceLoss, LinkLoss:
+		DeviceLoss, LinkLoss, SilentLinkBitflip, SilentShardBitflip:
 		return k == KindSuperstep
 	case TileMemoryPressure:
 		return k == KindSuperstep || k == KindAlloc
@@ -242,7 +242,8 @@ func (s *Schedule) String() string {
 //	rule   := class field*
 //	class  := "exchange" | "memory" | "reset" | "stall" |
 //	          "bitflip" | "exbitflip" | "stale" |
-//	          "deviceloss" | "linkloss"
+//	          "deviceloss" | "linkloss" |
+//	          "linkflip" | "shardflip"
 //	policy := "off" | "checksums" | "invariants" | "paranoid"
 //	field  := "at=" int | "after=" int | "every=" int |
 //	          "p=" float | "phase=" glob | "times=" int |
@@ -253,6 +254,7 @@ func (s *Schedule) String() string {
 //
 //	"seed=7; guard=invariants; bitflip every=40 p=0.5; reset at=900 phase=s6_*"
 //	"seed=3; deviceloss at=40 device=2; linkloss every=64 p=0.5"
+//	"seed=9; guard=checksums; linkflip every=16 p=0.5 device=1; shardflip at=30 device=3"
 //
 // An empty spec (or one containing only a seed) is valid and injects
 // nothing. Unset times resolves to 1 for one-shot rules and unlimited
@@ -489,10 +491,51 @@ func RandomShardSchedule(rng *rand.Rand, devices int) *Schedule {
 // RandomSchedule so existing chaos replays stay byte-identical. Fires
 // are bounded (no unlimited storms): the interesting question for
 // silent faults is detection, not survival of an endless barrage.
-func RandomSilentSchedule(rng *rand.Rand) *Schedule {
+//
+// An optional fabric size extends the sweep across K shards: with
+// devices[0] > 1 the draw adds the fabric-native silent classes
+// (linkflip frames on the wire, shardflip upsets in device-resident
+// row blocks), shard-flavored phases, and device= predicates so
+// corruption lands on specific chips — plus, half the time, one
+// bounded loud loss rule (deviceloss or linkloss), so sharded silent
+// sweeps mix loss and corruption the way real fabrics fail. Calling
+// it without a fabric size draws exactly the pre-fabric schedule, so
+// single-device silent replays stay byte-identical.
+func RandomSilentSchedule(rng *rand.Rand, devices ...int) *Schedule {
+	k := 1
+	if len(devices) > 0 && devices[0] > 1 {
+		k = devices[0]
+	}
+	if k == 1 {
+		s := &Schedule{Seed: rng.Int63n(1 << 20)}
+		classes := []Class{SilentTileBitflip, SilentExchangeBitflip, SilentStaleRead}
+		phases := []string{"", "", "s1_*", "s4_*", "s6_*", "compress", "copy:*", "*"}
+		nRules := 1 + rng.Intn(2)
+		for i := 0; i < nRules; i++ {
+			r := Rule{Class: classes[rng.Intn(len(classes))], At: -1, Times: 1, Device: -1}
+			switch rng.Intn(3) {
+			case 0:
+				r.At = int64(rng.Intn(60))
+			case 1:
+				r.Every = int64(1 + rng.Intn(8))
+				r.Times = int64(1 + rng.Intn(3))
+			default:
+				r.Every = int64(1 + rng.Intn(4))
+				r.Prob = []float64{0.25, 0.5, 0.75}[rng.Intn(3)]
+				r.Times = int64(1 + rng.Intn(3))
+			}
+			r.Phase = phases[rng.Intn(len(phases))]
+			s.Rules = append(s.Rules, r)
+		}
+		return s
+	}
 	s := &Schedule{Seed: rng.Int63n(1 << 20)}
-	classes := []Class{SilentTileBitflip, SilentExchangeBitflip, SilentStaleRead}
-	phases := []string{"", "", "s1_*", "s4_*", "s6_*", "compress", "copy:*", "*"}
+	classes := []Class{
+		SilentLinkBitflip, SilentLinkBitflip,
+		SilentShardBitflip, SilentShardBitflip,
+		SilentTileBitflip, SilentExchangeBitflip,
+	}
+	phases := []string{"", "", "shard:s4*", "shard:s6*", "shard:s1*", "shard:*", "*"}
 	nRules := 1 + rng.Intn(2)
 	for i := 0; i < nRules; i++ {
 		r := Rule{Class: classes[rng.Intn(len(classes))], At: -1, Times: 1, Device: -1}
@@ -507,7 +550,26 @@ func RandomSilentSchedule(rng *rand.Rand) *Schedule {
 			r.Prob = []float64{0.25, 0.5, 0.75}[rng.Intn(3)]
 			r.Times = int64(1 + rng.Intn(3))
 		}
+		// Half the rules target a specific shard so every chip of the
+		// fabric sees corruption across a sweep; the rest hit whichever
+		// device reaches the matching point first.
+		if rng.Intn(2) == 0 {
+			r.Device = int64(rng.Intn(k))
+		}
 		r.Phase = phases[rng.Intn(len(phases))]
+		s.Rules = append(s.Rules, r)
+	}
+	// Mixed loss + corruption: half the schedules also lose a chip or
+	// flap a link, bounded, so the quarantine/re-shard path runs while
+	// silent corruption is in flight.
+	if rng.Intn(2) == 0 {
+		r := Rule{Class: DeviceLoss, At: int64(rng.Intn(80)), Times: 1, Device: int64(rng.Intn(k))}
+		if rng.Intn(2) == 0 {
+			r.Class = LinkLoss
+			r.At = -1
+			r.Every = int64(1 + rng.Intn(12))
+			r.Times = int64(1 + rng.Intn(2))
+		}
 		s.Rules = append(s.Rules, r)
 	}
 	return s

@@ -55,8 +55,9 @@ func TestClassExhaustiveness(t *testing.T) {
 	}
 }
 
-// TestSilentClassSemantics pins the silent axis: exactly the three SDC
-// classes are silent, and legacy classes keep their announced behavior.
+// TestSilentClassSemantics pins the silent axis: exactly the five SDC
+// classes (three single-device, two fabric) are silent, and legacy
+// classes keep their announced behavior.
 func TestSilentClassSemantics(t *testing.T) {
 	wantSilent := map[Class]bool{
 		ExchangeCorruption:    false,
@@ -68,6 +69,8 @@ func TestSilentClassSemantics(t *testing.T) {
 		SilentStaleRead:       true,
 		DeviceLoss:            false,
 		LinkLoss:              false,
+		SilentLinkBitflip:     true,
+		SilentShardBitflip:    true,
 	}
 	if len(wantSilent) != int(numClasses) {
 		t.Fatalf("test table covers %d classes, have %d", len(wantSilent), numClasses)
@@ -148,6 +151,84 @@ func TestRandomSilentSchedule(t *testing.T) {
 		if err != nil || s2.String() != s.String() {
 			t.Fatalf("silent schedule does not round-trip: %q (%v)", s.String(), err)
 		}
+	}
+}
+
+// TestRandomSilentScheduleLegacyReplay pins that the zero-fabric call
+// path draws byte-identical schedules to the pre-fabric generator:
+// explicitly passing a fabric of 1 (or 0) must not perturb the rng
+// stream or the drawn rules.
+func TestRandomSilentScheduleLegacyReplay(t *testing.T) {
+	a := rand.New(rand.NewSource(11))
+	b := rand.New(rand.NewSource(11))
+	c := rand.New(rand.NewSource(11))
+	for i := 0; i < 100; i++ {
+		want := RandomSilentSchedule(a).String()
+		if got := RandomSilentSchedule(b, 1).String(); got != want {
+			t.Fatalf("devices=1 diverged at draw %d:\n got %q\nwant %q", i, got, want)
+		}
+		if got := RandomSilentSchedule(c, 0).String(); got != want {
+			t.Fatalf("devices=0 diverged at draw %d:\n got %q\nwant %q", i, got, want)
+		}
+	}
+}
+
+// TestRandomSilentScheduleFabric checks the fabric variant: silent
+// classes with at most one bounded loud loss rule riding along,
+// device= predicates covering every chip across a sweep, and
+// round-trippable specs.
+func TestRandomSilentScheduleFabric(t *testing.T) {
+	const k = 4
+	rng := rand.New(rand.NewSource(7))
+	devicesSeen := map[int64]bool{}
+	fabricClasses := false
+	lossRules := 0
+	for i := 0; i < 300; i++ {
+		s := RandomSilentSchedule(rng, k)
+		if len(s.Rules) == 0 {
+			t.Fatal("empty fabric silent schedule")
+		}
+		loud := 0
+		for _, r := range s.Rules {
+			if r.Class == SilentLinkBitflip || r.Class == SilentShardBitflip {
+				fabricClasses = true
+			}
+			if !r.Class.Silent() {
+				if r.Class != DeviceLoss && r.Class != LinkLoss {
+					t.Fatalf("unexpected loud class %v in fabric silent schedule", r.Class)
+				}
+				loud++
+				if r.Times < 1 {
+					t.Fatalf("unbounded loss rule: %+v", r)
+				}
+			}
+			if r.Times < 1 {
+				t.Fatalf("unbounded silent rule: %+v", r)
+			}
+			if r.Device >= 0 {
+				if r.Device >= k {
+					t.Fatalf("device predicate %d out of fabric [0,%d)", r.Device, k)
+				}
+				devicesSeen[r.Device] = true
+			}
+		}
+		if loud > 1 {
+			t.Fatalf("schedule carries %d loss rules, want ≤ 1: %q", loud, s.String())
+		}
+		lossRules += loud
+		s2, err := ParseSchedule(s.String())
+		if err != nil || s2.String() != s.String() {
+			t.Fatalf("fabric silent schedule does not round-trip: %q (%v)", s.String(), err)
+		}
+	}
+	if !fabricClasses {
+		t.Error("sweep never drew linkflip/shardflip")
+	}
+	if lossRules == 0 {
+		t.Error("sweep never mixed in a loss rule")
+	}
+	if len(devicesSeen) < k {
+		t.Errorf("device predicates covered %d of %d chips", len(devicesSeen), k)
 	}
 }
 

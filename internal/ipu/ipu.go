@@ -386,6 +386,24 @@ func (d *Device) ChargeSync() {
 	d.stats.SyncCycles += d.cfg.SyncCycles
 }
 
+// ChargeExchange prices an extra exchange phase without advancing the
+// superstep clock: bytes move at the on-chip rate, crossIPUBytes at
+// the IPU-Link rate, exactly as in Superstep. Used for guard-layer
+// frame retransmits — a retransmitted collective repeats the wire cost
+// of the original frame, but it is a repair inside one BSP superstep,
+// so the lockstep clocks of the other chips stay aligned.
+func (d *Device) ChargeExchange(bytes, crossIPUBytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	ex := d.cfg.ExchangeLatencyCycles + int64(float64(bytes)/d.cfg.ExchangeBytesPerCycle)
+	if crossIPUBytes > 0 {
+		ex += int64(float64(crossIPUBytes) / float64(d.cfg.Tiles()) / d.cfg.InterIPUBytesPerCycle)
+	}
+	d.stats.ExchangeCycles += ex
+	d.stats.BytesExchanged += bytes
+}
+
 // ChargeGuard prices n cycles of guard-layer work (checksum updates,
 // full verifies, invariant probes). Kept separate from compute cycles
 // so reports can expose the detection/throughput trade-off directly.

@@ -202,6 +202,44 @@ func TestChargeSync(t *testing.T) {
 	}
 }
 
+// TestChargeExchange pins the retransmit pricing primitive: the frame's
+// bytes are charged at the exchange (and, when crossing chips, the
+// IPU-Link) rate without advancing the superstep clock — so a
+// retransmitted collective costs cycles and bytes but keeps the
+// lockstep fabric clocks aligned.
+func TestChargeExchange(t *testing.T) {
+	cfg := MK2()
+	d, _ := NewDevice(cfg)
+	before := d.Stats()
+	d.ChargeExchange(4096, 0)
+	s := d.Stats()
+	want := cfg.ExchangeLatencyCycles + int64(4096/cfg.ExchangeBytesPerCycle)
+	if got := s.ExchangeCycles - before.ExchangeCycles; got != want {
+		t.Fatalf("on-chip retransmit: ExchangeCycles += %d, want %d", got, want)
+	}
+	if got := s.BytesExchanged - before.BytesExchanged; got != 4096 {
+		t.Fatalf("BytesExchanged += %d, want 4096", got)
+	}
+	if s.Supersteps != before.Supersteps {
+		t.Fatalf("ChargeExchange advanced the superstep clock: %d → %d", before.Supersteps, s.Supersteps)
+	}
+
+	// The same frame crossing chips pays the IPU-Link surcharge on top.
+	dCross, _ := NewDevice(cfg)
+	dCross.ChargeExchange(4096, 4096)
+	if on, cross := s.ExchangeCycles, dCross.Stats().ExchangeCycles; cross <= on {
+		t.Fatalf("cross-chip retransmit (%d) should cost more than on-chip (%d)", cross, on)
+	}
+
+	// Zero and negative byte counts are no-ops.
+	dNil, _ := NewDevice(cfg)
+	dNil.ChargeExchange(0, 1<<20)
+	dNil.ChargeExchange(-8, 0)
+	if got := dNil.Stats().ExchangeCycles; got != 0 {
+		t.Fatalf("empty retransmit charged %d cycles", got)
+	}
+}
+
 // Property: TileTime is monotone — adding a vertex never reduces the
 // tile's compute time.
 func TestTileTimeMonotoneProperty(t *testing.T) {

@@ -45,6 +45,15 @@ const guardParanoidEvery = 8
 // can reach back through.
 const guardRingSize = 4
 
+// GuardParanoidEvery and GuardRingEpochs export the guard cadence and
+// rollback-ring depth so sibling guard layers (the sharded fabric in
+// internal/shard) verify on the same schedule and reach back through
+// the same number of epochs as the single-device engine.
+const (
+	GuardParanoidEvery = guardParanoidEvery
+	GuardRingEpochs    = guardRingSize
+)
+
 // guardNames is indexed by GuardPolicy and must agree with
 // faultinject.GuardPolicyNames, the schedule-grammar tokens.
 var guardNames = [...]string{"off", "checksums", "invariants", "paranoid"}
@@ -115,6 +124,13 @@ var errBudget = errors.New("superstep budget exhausted")
 // maintenance subtracts the old contribution and adds the new one over
 // each superstep's declared write regions; a silent flip leaves a
 // nonzero residual that no later legitimate overwrite can cancel.
+// GuardContribution exposes sumContribution so sibling guard layers
+// (the sharded fabric's per-shard row-block checksums) accumulate
+// identical laundering-proof sums: a fabric frame's checksum and a
+// tensor's checksum disagree about a flipped bit for exactly the same
+// algebraic reason.
+func GuardContribution(v float64, idx int) uint64 { return sumContribution(v, idx) }
+
 func sumContribution(v float64, idx int) uint64 {
 	h := math.Float64bits(v) ^ (uint64(idx)+1)*0x9e3779b97f4a7c15
 	h += 0x9e3779b97f4a7c15
@@ -267,6 +283,7 @@ func (e *Engine) NewCorruptionError(guard string, err error) *faultinject.Corrup
 		Detected: detected,
 		Injected: -1,
 		Latency:  -1,
+		Device:   -1,
 		Err:      err,
 	}
 	if e.pendingSince >= 0 {

@@ -48,6 +48,12 @@ type Metrics struct {
 	DevicesLost    atomic.Int64
 	Reshards       atomic.Int64
 	ShardRollbacks atomic.Int64
+	// Retransmits counts collective frames guarded fabrics moved again
+	// after checksum-detected wire corruption; Quarantined counts chips
+	// the guard layer Byzantine-classified and struck from their
+	// fabrics.
+	Retransmits atomic.Int64
+	Quarantined atomic.Int64
 }
 
 // devIdx guards the fixed-size per-device arrays against out-of-range
@@ -117,6 +123,8 @@ func (m *Metrics) snapshot() map[string]any {
 			"devices_lost": m.DevicesLost.Load(),
 			"reshards":     m.Reshards.Load(),
 			"rollbacks":    m.ShardRollbacks.Load(),
+			"retransmits":  m.Retransmits.Load(),
+			"quarantined":  m.Quarantined.Load(),
 		},
 	}
 }

@@ -56,7 +56,11 @@ type Config struct {
 	// rungs of the ladder. The zero value leaves the guard to any
 	// schedule-carried guard= clause (see hunipu.WithFaultSchedule);
 	// detections surface in the guard_* expvar counters either way.
-	Guard hunipu.GuardPolicy
+	// GuardSet forces the policy through even at GuardOff — the
+	// explicit opt-out that disarms the sharded default (sharded
+	// attempts otherwise run at GuardChecksums).
+	Guard    hunipu.GuardPolicy
+	GuardSet bool
 	// Shards, when > 0, runs every IPU attempt on a fabric of that many
 	// simulated chips (hunipu.WithShards): row-block sharding, modeled
 	// IPU-Link charging, and live re-sharding when a chip is lost.
@@ -362,7 +366,7 @@ func (s *Server) process(it *item) {
 	if s.cfg.Retries > 0 {
 		opts = append(opts, hunipu.WithRecovery(s.cfg.Retries, s.cfg.Backoff))
 	}
-	if s.cfg.Guard != hunipu.GuardOff {
+	if s.cfg.GuardSet || s.cfg.Guard != hunipu.GuardOff {
 		opts = append(opts, hunipu.WithGuard(s.cfg.Guard))
 	}
 	if s.cfg.Shards > 0 {
@@ -405,6 +409,8 @@ func (s *Server) settle(picks []pick, n int, res *hunipu.Result, err error) {
 				s.metrics.DevicesLost.Add(int64(len(a.LostDevices)))
 				s.metrics.Reshards.Add(int64(a.Reshards))
 				s.metrics.ShardRollbacks.Add(int64(a.ShardDetail.Rollbacks))
+				s.metrics.Retransmits.Add(int64(a.Retransmits))
+				s.metrics.Quarantined.Add(int64(len(a.QuarantinedDevices)))
 			}
 			// Guard telemetry: recovered detections ride on successful
 			// attempts; a terminal detection is the attempt's typed error.
@@ -413,7 +419,7 @@ func (s *Server) settle(picks []pick, n int, res *hunipu.Result, err error) {
 			if ce, ok := faultinject.AsCorruption(a.Err); ok {
 				s.metrics.GuardTrips.Add(1)
 				s.metrics.RollbackEpochs.Add(int64(ce.PoisonedEpochs))
-				if ce.Guard == "attestation" {
+				if ce.Guard == "attestation" || ce.Guard == "shard:attestation" {
 					s.metrics.AttestationFailures.Add(1)
 				}
 			}

@@ -1,0 +1,261 @@
+package shard
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"hunipu/internal/faultinject"
+	"hunipu/internal/lsap"
+	"hunipu/internal/poplar"
+)
+
+// guardSolve runs one guarded sharded solve against spec and returns
+// the result (which may accompany an error).
+func guardSolve(t *testing.T, spec string, guard poplar.GuardPolicy, k, n int) (*Result, error) {
+	t.Helper()
+	sched, err := faultinject.ParseSchedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := mustSolver(t, Options{
+		Config:  smallChip(),
+		Devices: k,
+		Fault:   sched,
+		Guard:   guard,
+		Cache:   NewPlanCache(),
+	})
+	m := genMatrix(t, rand.New(rand.NewSource(7)), n)
+	return sv.SolveShards(context.Background(), m) //hunipulint:ignore ctxflow test drives the solve directly
+}
+
+// TestGuardBlockFlipDetected pins the per-shard probe path: a silent
+// bitflip in a shard's device-resident row block is invisible to the
+// collective checksums, but the cadence block probe catches it, the
+// solve rolls back past the poison, and the certified answer matches
+// the CPU baseline.
+func TestGuardBlockFlipDetected(t *testing.T) {
+	for _, guard := range []poplar.GuardPolicy{poplar.GuardChecksums, poplar.GuardInvariants, poplar.GuardParanoid} {
+		res, err := guardSolve(t, "shardflip at=10 device=1", guard, 2, 12)
+		if err != nil {
+			t.Fatalf("guard %v: %v", guard, err)
+		}
+		if res.Faults == 0 {
+			t.Fatalf("guard %v: flip never fired", guard)
+		}
+		if res.GuardTrips == 0 {
+			t.Fatalf("guard %v: flip landed but no guard trip recorded", guard)
+		}
+		if res.Rollbacks == 0 {
+			t.Fatalf("guard %v: detection without a rollback", guard)
+		}
+		if res.DetectionLatency <= 0 {
+			t.Fatalf("guard %v: detection latency %d, want > 0 (block flips are caught at cadence, not instantly)",
+				guard, res.DetectionLatency)
+		}
+		m := genMatrix(t, rand.New(rand.NewSource(7)), 12)
+		if want := refCost(t, m); res.Solution.Cost != want {
+			t.Fatalf("guard %v: cost %g, want %g", guard, res.Solution.Cost, want)
+		}
+	}
+}
+
+// TestGuardFrameFlipRetransmitted pins the checksummed-collective path:
+// an on-wire frame flip is detected on receipt and repaired by bounded
+// retransmit — no rollback needed — with the retries both counted and
+// charged as extra exchange traffic.
+func TestGuardFrameFlipRetransmitted(t *testing.T) {
+	res, err := guardSolve(t, "linkflip at=12 device=1", poplar.GuardChecksums, 2, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retransmits == 0 {
+		t.Fatal("frame flip repaired without a recorded retransmit")
+	}
+	if res.GuardTrips == 0 {
+		t.Fatal("frame flip detected without a guard trip")
+	}
+	if res.Rollbacks != 0 {
+		t.Fatalf("clean retransmit should not roll back, got %d rollback(s)", res.Rollbacks)
+	}
+	if len(res.Quarantined) != 0 {
+		t.Fatalf("one repaired frame should not quarantine, got %v", res.Quarantined)
+	}
+	m := genMatrix(t, rand.New(rand.NewSource(7)), 12)
+	if want := refCost(t, m); res.Solution.Cost != want {
+		t.Fatalf("cost %g, want %g", res.Solution.Cost, want)
+	}
+
+	// The retries are priced: the same solve without the flip moves
+	// fewer bytes and pays fewer guard cycles on the afflicted chip.
+	clean, err := guardSolve(t, "", poplar.GuardChecksums, 2, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirty, base int64
+	for _, s := range res.PerDevice {
+		dirty += s.BytesExchanged
+	}
+	for _, s := range clean.PerDevice {
+		base += s.BytesExchanged
+	}
+	if dirty <= base {
+		t.Fatalf("retransmit moved no extra bytes: %d ≤ %d", dirty, base)
+	}
+}
+
+// TestGuardRetransmitExhaustionQuarantines pins the Byzantine path: a
+// chip whose frames are corrupted on every retry exhausts the bounded
+// retransmit budget, is quarantined out of the fabric, and the solve
+// completes on the survivor with a certified answer.
+func TestGuardRetransmitExhaustionQuarantines(t *testing.T) {
+	res, err := guardSolve(t, "linkflip every=1 device=1", poplar.GuardChecksums, 2, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Quarantined) != 1 || res.Quarantined[0] != 1 {
+		t.Fatalf("Quarantined = %v, want [1]", res.Quarantined)
+	}
+	if len(res.LostDevices) != 1 || res.LostDevices[0] != 1 {
+		t.Fatalf("LostDevices = %v, want [1]", res.LostDevices)
+	}
+	if len(res.Reshards) != 1 || !res.Reshards[0].Quarantined {
+		t.Fatalf("Reshards = %+v, want one quarantine re-shard", res.Reshards)
+	}
+	if res.Survivors != 1 {
+		t.Fatalf("Survivors = %d, want 1", res.Survivors)
+	}
+	if res.Retransmits < DefaultMaxRetransmits {
+		t.Fatalf("Retransmits = %d, want ≥ %d (the full budget was burned)",
+			res.Retransmits, DefaultMaxRetransmits)
+	}
+	m := genMatrix(t, rand.New(rand.NewSource(7)), 12)
+	if want := refCost(t, m); res.Solution.Cost != want {
+		t.Fatalf("cost %g, want %g", res.Solution.Cost, want)
+	}
+}
+
+// TestGuardQuarantineBelowMinDevices pins the floor: when quarantining
+// the Byzantine chip would shrink the fabric below MinDevices, the
+// solve fails with a typed *FabricError that records the quarantine and
+// unwraps to the corruption.
+func TestGuardQuarantineBelowMinDevices(t *testing.T) {
+	sched, err := faultinject.ParseSchedule("linkflip every=1 device=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := mustSolver(t, Options{
+		Config:     smallChip(),
+		Devices:    2,
+		MinDevices: 2,
+		Fault:      sched,
+		Guard:      poplar.GuardChecksums,
+		Cache:      NewPlanCache(),
+	})
+	m := genMatrix(t, rand.New(rand.NewSource(7)), 12)
+	res, err := sv.SolveShards(context.Background(), m) //hunipulint:ignore ctxflow test drives the solve directly
+	if err == nil {
+		t.Fatal("solve succeeded below MinDevices")
+	}
+	fab, ok := AsFabric(err)
+	if !ok {
+		t.Fatalf("error %T is not a FabricError: %v", err, err)
+	}
+	if len(fab.Quarantined) != 1 || fab.Quarantined[0] != 1 {
+		t.Fatalf("FabricError.Quarantined = %v, want [1]", fab.Quarantined)
+	}
+	if _, ok := faultinject.AsCorruption(err); !ok {
+		t.Fatalf("FabricError does not unwrap to the corruption: %v", err)
+	}
+	if len(res.Quarantined) != 1 {
+		t.Fatalf("failed Result.Quarantined = %v, want the quarantine recorded", res.Quarantined)
+	}
+	if res.Retransmits == 0 {
+		t.Fatal("failed Result.Retransmits = 0, want the burned budget recorded")
+	}
+}
+
+// TestGuardOffCommitsCorruption pins the control: with the guard off a
+// silent flip schedule lands in live state, nothing trips, and an
+// uncertified wrong answer escapes — while the same schedule under
+// GuardChecksums either yields the certified optimum or fails typed.
+// The schedule and matrix are a known-escaping pair (found by sweeping
+// the fabric corpus); the conformance GuardOff control demonstrates the
+// same escape statistically over the whole corpus.
+func TestGuardOffCommitsCorruption(t *testing.T) {
+	const spec = "seed=804290; bitflip every=3 phase=shard:* times=2"
+	m := genMatrix(t, rand.New(rand.NewSource(149)), 13)
+	want := refCost(t, m)
+
+	sched, err := faultinject.ParseSchedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := mustSolver(t, Options{Config: smallChip(), Devices: 2, Fault: sched, Guard: poplar.GuardOff, Cache: NewPlanCache()})
+	res, err := sv.SolveShards(context.Background(), m.Clone()) //hunipulint:ignore ctxflow test drives the solve directly
+	if err != nil {
+		t.Fatalf("the unguarded escape surfaced as an error: %v", err)
+	}
+	if res.GuardTrips != 0 || res.Retransmits != 0 || len(res.Quarantined) != 0 {
+		t.Fatalf("guard off tripped: trips=%d retx=%d quarantined=%v",
+			res.GuardTrips, res.Retransmits, res.Quarantined)
+	}
+	if res.Faults == 0 {
+		t.Fatal("flips never fired")
+	}
+	if res.Solution.Cost == want {
+		if verr := lsap.VerifyOptimal(m, res.Solution.Assignment, *res.Solution.Potentials, 1e-6); verr == nil {
+			t.Fatal("known-escaping schedule produced a certified optimum; the control lost its teeth")
+		}
+	}
+
+	// Same schedule, guard armed: the answer is certified optimal or
+	// the failure is typed — never a silent wrong answer.
+	sched2, err := faultinject.ParseSchedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv2 := mustSolver(t, Options{Config: smallChip(), Devices: 2, Fault: sched2, Guard: poplar.GuardChecksums, Cache: NewPlanCache()})
+	res2, err := sv2.SolveShards(context.Background(), m.Clone()) //hunipulint:ignore ctxflow test drives the solve directly
+	if err != nil {
+		if _, ok := faultinject.AsCorruption(err); !ok {
+			if _, ok := faultinject.AsFault(err); !ok {
+				t.Fatalf("guarded failure is untyped: %v", err)
+			}
+		}
+	} else {
+		if res2.Solution.Cost != want {
+			t.Fatalf("guarded solve returned wrong cost %g, want %g", res2.Solution.Cost, want)
+		}
+		if verr := lsap.VerifyOptimal(m, res2.Solution.Assignment, *res2.Solution.Potentials, 1e-6); verr != nil {
+			t.Fatalf("guarded solve uncertified: %v", verr)
+		}
+	}
+}
+
+// TestGuardCyclesCharged pins the cost accounting: an armed guard pays
+// modeled GuardCycles on every chip (incremental checksum maintenance
+// plus cadence probes), and an unguarded fabric pays none.
+func TestGuardCyclesCharged(t *testing.T) {
+	on, err := guardSolve(t, "", poplar.GuardParanoid, 2, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := guardSolve(t, "", poplar.GuardOff, 2, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d, s := range on.PerDevice {
+		if s.GuardCycles == 0 {
+			t.Fatalf("armed chip %d paid no guard cycles", d)
+		}
+	}
+	for d, s := range off.PerDevice {
+		if s.GuardCycles != 0 {
+			t.Fatalf("unguarded chip %d paid %d guard cycles", d, s.GuardCycles)
+		}
+	}
+	if on.ModeledCycles <= off.ModeledCycles {
+		t.Fatalf("guard overhead not visible in the wall clock: %d ≤ %d", on.ModeledCycles, off.ModeledCycles)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"hunipu/internal/ipu"
+	"hunipu/internal/poplar"
 )
 
 // Span is a half-open row range [Lo, Hi) of the cost matrix owned by
@@ -44,14 +45,18 @@ func partition(n, k int) []Span {
 }
 
 // planKey identifies one shard topology: the problem size, the fabric
-// size, and the per-chip shape that constrains the layout. Two solves
-// agree on a plan only when every key field matches.
+// size, the per-chip shape that constrains the layout, and the guard
+// policy the fabric runs under. Two solves agree on a plan only when
+// every key field matches — in particular, a guarded fabric (whose
+// compiled collectives carry frame checksums) never shares a plan with
+// an unguarded one, even though the row partition happens to coincide.
 type planKey struct {
 	n       int
 	devices int
 	tiles   int
 	mem     int
 	name    string
+	guard   poplar.GuardPolicy
 }
 
 // PlanCache memoises sharding plans per topology, the shard-level
@@ -76,10 +81,11 @@ func NewPlanCache() *PlanCache {
 var DefaultCache = NewPlanCache()
 
 // PlanFor returns the plan for an n-row problem over a k-chip fabric of
-// the given per-chip configuration, computing and caching it on first
-// use. The returned plan is shared and must not be mutated.
-func (pc *PlanCache) PlanFor(n, k int, cfg ipu.Config) *Plan {
-	key := planKey{n: n, devices: k, tiles: cfg.TilesPerIPU, mem: cfg.TileMemory, name: cfg.Name}
+// the given per-chip configuration under the given guard policy,
+// computing and caching it on first use. The returned plan is shared
+// and must not be mutated.
+func (pc *PlanCache) PlanFor(n, k int, cfg ipu.Config, guard poplar.GuardPolicy) *Plan {
+	key := planKey{n: n, devices: k, tiles: cfg.TilesPerIPU, mem: cfg.TileMemory, name: cfg.Name, guard: guard}
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	if p, ok := pc.plans[key]; ok {

@@ -28,10 +28,18 @@
 //     so callers (and the chaos harness) classify it exactly as any
 //     other injected fault.
 //
-// Silent fault classes are out of scope here (they need the guard layer
-// in package poplar); the solver still attests its final answer against
-// the pristine input via its own dual certificate, so a corrupted
-// result can never escape silently.
+// Silent fault classes are in scope when Options.Guard arms the fabric
+// guard layer (see guard.go): collective frames carry checksums and are
+// retransmitted on mismatch, each shard's device-resident row block is
+// probed at guard cadence against incremental checksums and the
+// supervisor's held duals, and a shard that keeps failing probes — or
+// exhausts its retransmit budget — is Byzantine-classified, quarantined
+// out of the fabric, and its rows re-sharded over the survivors with a
+// certified rollback to the newest checkpoint predating the first
+// detection. At GuardOff the layer (final attestation included) is
+// disabled, so silent corruption can reach the caller — the measured
+// control the chaos harness uses; hunipu's public surface therefore
+// defaults sharded solves to GuardChecksums.
 //
 // Device superstep clocks stay monotone across rollback and re-shard,
 // so one-shot schedule rules never refire on a replayed prefix (the
@@ -42,10 +50,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 
 	"hunipu/internal/faultinject"
 	"hunipu/internal/ipu"
 	"hunipu/internal/lsap"
+	"hunipu/internal/poplar"
 )
 
 // DefaultMaxRetries is the rollback budget when Options.MaxRetries is
@@ -85,6 +95,18 @@ type Options struct {
 	MaxSupersteps int64
 	// Cache is the plan cache to use (nil = DefaultCache).
 	Cache *PlanCache
+	// Guard selects the fabric guard policy for silent-corruption
+	// tolerance: checksummed collectives with bounded retransmit, per-
+	// shard block probes, quarantine-based re-sharding, and final
+	// attestation. The zero value is poplar.GuardOff — everything off,
+	// attestation included — which is the deliberate unguarded control;
+	// package hunipu resolves sharded solves to GuardChecksums unless
+	// the caller explicitly opts out.
+	Guard poplar.GuardPolicy
+	// MaxRetransmits bounds per-frame retransmit attempts for checksum-
+	// detected frame corruption before the sender is quarantined
+	// (0 = DefaultMaxRetransmits, negative = no retransmits).
+	MaxRetransmits int
 }
 
 // Solver is a sharded HunIPU solver. It implements lsap.ContextSolver;
@@ -100,6 +122,8 @@ type Solver struct {
 	ckptEvery  int64
 	maxSteps   int64
 	cache      *PlanCache
+	guard      poplar.GuardPolicy
+	maxRetx    int
 }
 
 // New validates the options and returns a solver.
@@ -145,6 +169,16 @@ func New(opts Options) (*Solver, error) {
 	if cache == nil {
 		cache = DefaultCache
 	}
+	if opts.Guard < poplar.GuardOff || opts.Guard > poplar.GuardParanoid {
+		return nil, fmt.Errorf("shard: unknown guard policy %d", opts.Guard)
+	}
+	retx := opts.MaxRetransmits
+	switch {
+	case retx == 0:
+		retx = DefaultMaxRetransmits
+	case retx < 0:
+		retx = 0
+	}
 	return &Solver{
 		cfg:        cfg,
 		devices:    k,
@@ -154,6 +188,8 @@ func New(opts Options) (*Solver, error) {
 		ckptEvery:  every,
 		maxSteps:   opts.MaxSupersteps,
 		cache:      cache,
+		guard:      opts.Guard,
+		maxRetx:    retx,
 	}, nil
 }
 
@@ -188,6 +224,10 @@ type ReshardEpoch struct {
 	Lost int
 	// Survivors is the fabric size after the loss.
 	Survivors int
+	// Quarantined reports whether the chip was removed by the guard
+	// layer (Byzantine classification: repeated probe failures or
+	// retransmit exhaustion) rather than by an announced fatal fault.
+	Quarantined bool
 }
 
 // Result is the full report of one sharded solve. It is returned (with
@@ -205,12 +245,31 @@ type Result struct {
 	LostDevices []int
 	// Reshards records each live re-sharding.
 	Reshards []ReshardEpoch
-	// Rollbacks counts checkpoint restores for transient faults.
+	// Rollbacks counts checkpoint restores, whether for announced
+	// transient faults or guard-detected corruption.
 	Rollbacks int
 	// Checkpoints counts cross-device barrier snapshots taken.
 	Checkpoints int
 	// Faults counts injected faults the fabric observed.
 	Faults int
+	// GuardTrips counts guard detections: bad collective frames
+	// (including corrupted retries), block checksum mismatches,
+	// invariant probe failures, and attestation failures.
+	GuardTrips int
+	// Retransmits counts collective frames moved again after a
+	// checksum-detected corruption, each re-priced at the IPU-Link
+	// rate.
+	Retransmits int
+	// RollbackEpochs counts checkpoint epochs discarded as poisoned
+	// during certified rollback.
+	RollbackEpochs int
+	// DetectionLatency is the worst-case supersteps between a silent
+	// injection landing in live state and its detection (0 when nothing
+	// silent was caught).
+	DetectionLatency int64
+	// Quarantined lists fabric indices removed by the guard layer, in
+	// quarantine order (a subset of LostDevices).
+	Quarantined []int
 	// Supersteps is the total fabric superstep count, monotone across
 	// rollbacks and re-shards.
 	Supersteps int64
@@ -241,14 +300,22 @@ type FabricError struct {
 	MinDevices int
 	// Lost lists the fabric indices lost before failure.
 	Lost []int
+	// Quarantined lists the fabric indices the guard layer removed for
+	// Byzantine behavior (a subset of Lost).
+	Quarantined []int
 	// Rollbacks counts checkpoint restores consumed before failure.
 	Rollbacks int
-	// Err is the underlying cause, usually a *faultinject.FaultError.
+	// Err is the underlying cause, usually a *faultinject.FaultError or
+	// *faultinject.CorruptionError.
 	Err error
 }
 
 // Error implements error.
 func (e *FabricError) Error() string {
+	if len(e.Quarantined) > 0 {
+		return fmt.Sprintf("shard: fabric of %d device(s) failed: %d survivor(s) (min %d), lost %v, quarantined %v, %d rollback(s): %v",
+			e.Devices, e.Survivors, e.MinDevices, e.Lost, e.Quarantined, e.Rollbacks, e.Err)
+	}
 	return fmt.Sprintf("shard: fabric of %d device(s) failed: %d survivor(s) (min %d), lost %v, %d rollback(s): %v",
 		e.Devices, e.Survivors, e.MinDevices, e.Lost, e.Rollbacks, e.Err)
 }
@@ -288,12 +355,18 @@ func (sv *Solver) SolveShards(ctx context.Context, c *lsap.Matrix) (*Result, err
 	}
 
 	snap := sv.cache.Snapshot()
-	plan := sv.cache.PlanFor(n, sv.devices, sv.cfg)
+	plan := sv.cache.PlanFor(n, sv.devices, sv.cfg, sv.guard)
 	res.CachedPlan = sv.cache.Snapshot().Hits > snap.Hits
 
 	f, err := newFabric(sv.cfg, sv.devices, plan, sv.fault)
 	if err != nil {
 		return res, err
+	}
+	var scale float64
+	for _, x := range c.Data {
+		if ax := math.Abs(x); ax > scale {
+			scale = ax
+		}
 	}
 	r := &run{
 		sv:  sv,
@@ -301,29 +374,78 @@ func (sv *Solver) SolveShards(ctx context.Context, c *lsap.Matrix) (*Result, err
 		st:  newRunState(n, c),
 		res: res,
 		c:   c,
+		g:   newFabricGuard(sv.guard, sv.devices, 1e-9*(1+scale)),
 	}
+	r.g.lastVerify = -1
+	r.g.rebaseline(r) // upload-time block checksums over the pristine input
 	r.checkpointNow() // epoch 0: the pristine state is always restorable
 
+	track := func() {
+		res.Survivors = f.live()
+		res.Supersteps = f.step
+		res.PerDevice = f.statsPerDevice()
+		res.ModeledCycles = f.modeledCycles()
+		res.GuardTrips = r.g.trips
+		res.Retransmits = r.g.retransmits
+		res.RollbackEpochs = r.g.rollbackEpochs
+		res.DetectionLatency = r.g.maxLatency
+		res.Quarantined = append([]int(nil), r.g.quarantined...)
+	}
 	rollbacks := 0
+	var sol *lsap.Solution
 	for {
-		track := func() {
-			res.Survivors = f.live()
-			res.Supersteps = f.step
-			res.PerDevice = f.statsPerDevice()
-			res.ModeledCycles = f.modeledCycles()
-		}
 		err := r.attempt(ctx)
 		if err == nil {
-			track()
-			break
+			// Attestation runs inside the loop so a guard trip at finish
+			// time (detected corruption that survived to the answer) goes
+			// through the same certified-rollback recovery as any other
+			// detection instead of failing the solve outright.
+			sol, err = r.finish(ctx)
 		}
 		track()
+		if err == nil {
+			break
+		}
 		if ctx.Err() != nil {
 			return res, ctx.Err()
 		}
 		if _, ok := AsFabric(err); ok {
 			// The watchdog already judged the attempt unrecoverable.
 			return res, err
+		}
+		// Guard detections are checked before announced faults: a
+		// retransmit-exhaustion corruption wraps the injected fault, so
+		// the corruption branch must claim it first.
+		if ce, ok := faultinject.AsCorruption(err); ok {
+			if rollbacks >= sv.maxRetries {
+				return res, r.fabricErr(fmt.Errorf("rollback budget %d exhausted: %w", sv.maxRetries, ce))
+			}
+			rollbacks++
+			res.Rollbacks++
+			if d := ce.Device; d >= 0 && d < len(f.alive) && f.alive[d] && r.g.shouldQuarantine(d) {
+				// Byzantine classification: the chip keeps producing
+				// corrupt frames or failing probes — strike it from the
+				// fabric exactly like a lost chip and re-shard.
+				f.kill(d)
+				r.g.quarantined = append(r.g.quarantined, d)
+				res.LostDevices = append(res.LostDevices, d)
+				track()
+				if f.live() < sv.minDevices {
+					return res, r.fabricErr(ce)
+				}
+				f.reshard()
+				res.Reshards = append(res.Reshards, ReshardEpoch{
+					Superstep:   f.step,
+					Lost:        d,
+					Survivors:   f.live(),
+					Quarantined: true,
+				})
+			}
+			if rerr := r.rollbackPastPoison(ce); rerr != nil {
+				return res, r.fabricErr(fmt.Errorf("no certified checkpoint predates the corruption: %w", rerr))
+			}
+			track()
+			continue
 		}
 		fe, ok := faultinject.AsFault(err)
 		if !ok {
@@ -332,14 +454,7 @@ func (sv *Solver) SolveShards(ctx context.Context, c *lsap.Matrix) (*Result, err
 		res.Faults++
 		if fe.Transient() {
 			if rollbacks >= sv.maxRetries {
-				return res, &FabricError{
-					Devices:    sv.devices,
-					Survivors:  f.live(),
-					MinDevices: sv.minDevices,
-					Lost:       append([]int(nil), res.LostDevices...),
-					Rollbacks:  res.Rollbacks,
-					Err:        fmt.Errorf("rollback budget %d exhausted: %w", sv.maxRetries, fe),
-				}
+				return res, r.fabricErr(fmt.Errorf("rollback budget %d exhausted: %w", sv.maxRetries, fe))
 			}
 			rollbacks++
 			res.Rollbacks++
@@ -354,14 +469,7 @@ func (sv *Solver) SolveShards(ctx context.Context, c *lsap.Matrix) (*Result, err
 		f.kill(lost)
 		res.LostDevices = append(res.LostDevices, lost)
 		if f.live() < sv.minDevices {
-			return res, &FabricError{
-				Devices:    sv.devices,
-				Survivors:  f.live(),
-				MinDevices: sv.minDevices,
-				Lost:       append([]int(nil), res.LostDevices...),
-				Rollbacks:  res.Rollbacks,
-				Err:        fe,
-			}
+			return res, r.fabricErr(fe)
 		}
 		f.reshard()
 		res.Reshards = append(res.Reshards, ReshardEpoch{
@@ -372,16 +480,7 @@ func (sv *Solver) SolveShards(ctx context.Context, c *lsap.Matrix) (*Result, err
 		r.restore()
 	}
 
-	sol, err := r.finish(ctx)
-	if err != nil {
-		res.Survivors = f.live()
-		res.Supersteps = f.step
-		return res, err
-	}
 	res.Solution = sol
-	res.Survivors = f.live()
-	res.Supersteps = f.step
-	res.PerDevice = f.statsPerDevice()
-	res.ModeledCycles = f.modeledCycles()
+	track()
 	return res, nil
 }

@@ -10,6 +10,7 @@ import (
 	"hunipu/internal/faultinject"
 	"hunipu/internal/ipu"
 	"hunipu/internal/lsap"
+	"hunipu/internal/poplar"
 )
 
 // smallChip is one chip of the test fabric: Mk2 proportions with a
@@ -136,28 +137,41 @@ func TestCrossDeviceTrafficChargedAtLinkRate(t *testing.T) {
 
 // TestPlanCacheTopologyIsolation pins the program-cache criterion at
 // the shard layer: warm solves reuse the plan for their own topology
-// and never share one across topologies.
+// and never share one across topologies — and the guard policy is part
+// of the topology fingerprint, so a guarded fabric (whose compiled
+// collectives carry frame checksums) never shares a plan with an
+// unguarded one.
 func TestPlanCacheTopologyIsolation(t *testing.T) {
 	cache := NewPlanCache()
 	cfg := smallChip()
-	p2 := cache.PlanFor(16, 2, cfg)
-	p4 := cache.PlanFor(16, 4, cfg)
+	p2 := cache.PlanFor(16, 2, cfg, poplar.GuardOff)
+	p4 := cache.PlanFor(16, 4, cfg, poplar.GuardOff)
 	if p2 == p4 {
 		t.Fatal("K=2 and K=4 shared a plan")
 	}
 	if len(p2.Ranges) != 2 || len(p4.Ranges) != 4 {
 		t.Fatalf("plan shapes: %d, %d ranges", len(p2.Ranges), len(p4.Ranges))
 	}
-	if again := cache.PlanFor(16, 2, cfg); again != p2 {
+	if again := cache.PlanFor(16, 2, cfg, poplar.GuardOff); again != p2 {
 		t.Fatal("warm lookup did not reuse the K=2 plan")
 	}
 	other := cfg
 	other.TileMemory *= 2
-	if cache.PlanFor(16, 2, other) == p2 {
+	if cache.PlanFor(16, 2, other, poplar.GuardOff) == p2 {
 		t.Fatal("different chip shape shared a plan")
 	}
+	p2g := cache.PlanFor(16, 2, cfg, poplar.GuardChecksums)
+	if p2g == p2 {
+		t.Fatal("guarded and unguarded fabrics shared a plan")
+	}
+	if cache.PlanFor(16, 2, cfg, poplar.GuardParanoid) == p2g {
+		t.Fatal("checksums and paranoid policies shared a plan")
+	}
+	if again := cache.PlanFor(16, 2, cfg, poplar.GuardChecksums); again != p2g {
+		t.Fatal("warm lookup did not reuse the guarded K=2 plan")
+	}
 	snap := cache.Snapshot()
-	if snap.Hits != 1 || snap.Misses != 3 || snap.Size != 3 {
+	if snap.Hits != 2 || snap.Misses != 5 || snap.Size != 5 {
 		t.Fatalf("cache counters: %+v", snap)
 	}
 

@@ -3,11 +3,11 @@ package shard
 import (
 	"context"
 	"fmt"
-	"math"
 
 	"hunipu/internal/faultinject"
 	"hunipu/internal/ipu"
 	"hunipu/internal/lsap"
+	"hunipu/internal/poplar"
 )
 
 // fabric is the set of simulated chips a sharded solve runs on, plus
@@ -173,8 +173,21 @@ func (r *run) superstep(pc phaseCharge) error {
 			continue
 		}
 		if fe := dev.CheckFault(pc.phase, faultinject.KindSuperstep); fe != nil {
-			r.lastFault = fe
-			return fe
+			if fe.Silent() {
+				// Silent faults don't abort the superstep — they corrupt
+				// it. A guarded fabric detects frame classes on receipt
+				// and retransmits; block classes land in the chip's row
+				// block for the cadence probes to find. applySilent
+				// returns an error only when the repair loop itself
+				// fails (retransmit exhaustion, or an announced fault
+				// arriving mid-retry).
+				if err := r.applySilent(d, fe, pc); err != nil {
+					return err
+				}
+			} else {
+				r.lastFault = fe
+				return fe
+			}
 		}
 		rows := int64(f.ranges[d].Len())
 		cells := pc.cells
@@ -208,6 +221,7 @@ func (r *run) superstep(pc phaseCharge) error {
 		}
 		dev.Superstep(tileCycles, bytesIn, bytesOut, cross, rows)
 	}
+	r.flushGuardCharges()
 	f.step++
 	return nil
 }
@@ -272,24 +286,41 @@ type run struct {
 	st  *runState
 	res *Result
 	c   *lsap.Matrix
+	g   *fabricGuard
 
-	ck        *runState // last globally consistent checkpoint
-	ckStep    int64     // fabric superstep the checkpoint was taken at
-	needWrite bool      // state must be re-uploaded before resuming
+	// cks is the bounded checkpoint ring: epoch 0 (the pristine input)
+	// is pinned, plus up to poplar.GuardRingEpochs recent epochs so
+	// certified rollback can walk past poisoned snapshots.
+	cks       []*epoch
+	ckStep    int64 // fabric superstep of the newest checkpoint
+	needWrite bool  // state must be re-uploaded before resuming
 	lastFault *faultinject.FaultError
 }
 
 // checkpointNow snapshots the state without consulting the schedule
-// (used for the free epoch-0 checkpoint of the pristine input).
+// (used for the free epoch-0 checkpoint of the pristine input). The
+// ring keeps epoch 0 pinned and evicts the oldest non-pinned epoch
+// beyond poplar.GuardRingEpochs.
 func (r *run) checkpointNow() {
-	r.ck = r.st.clone()
+	r.cks = append(r.cks, &epoch{st: r.st.clone(), step: r.f.step})
+	for len(r.cks) > 1+poplar.GuardRingEpochs {
+		copy(r.cks[1:], r.cks[2:])
+		r.cks = r.cks[:len(r.cks)-1]
+	}
 	r.ckStep = r.f.step
 	r.res.Checkpoints++
 }
 
 // checkpoint takes a cross-device barrier snapshot, charging the
-// host-read points so stalls can hit checkpoint traffic too.
+// host-read points so stalls can hit checkpoint traffic too. Under an
+// armed guard the blocks are verified first, so every ring epoch is
+// certified clean as of its snapshot step.
 func (r *run) checkpoint() error {
+	if r.g.armed() && r.g.lastVerify != r.f.step {
+		if err := r.guardVerify(); err != nil {
+			return err
+		}
+	}
 	if err := r.f.hostPoint("shard:ckpt", faultinject.KindHostRead); err != nil {
 		r.noteFault(err)
 		return err
@@ -305,12 +336,16 @@ func (r *run) maybeCheckpoint() error {
 	return nil
 }
 
-// restore rewinds the whole fabric to the last checkpoint. The
+// restore rewinds the whole fabric to the newest checkpoint. The
 // supervisor copy is free; the re-upload of every chip's row block is
-// charged (and fault-checked) at the start of the next attempt.
+// charged (and fault-checked) at the start of the next attempt, and
+// the shard checksums are re-baselined from the restored state.
 func (r *run) restore() {
-	r.st = r.ck.clone()
+	ep := r.cks[len(r.cks)-1]
+	r.st = ep.st.clone()
+	r.ckStep = ep.step
 	r.needWrite = true
+	r.g.rebaseline(r)
 }
 
 func (r *run) noteFault(err error) {
@@ -339,13 +374,20 @@ func (r *run) watchdog(start int64) error {
 	if r.lastFault != nil {
 		cause = r.lastFault
 	}
+	return r.fabricErr(fmt.Errorf("superstep watchdog tripped after %d supersteps: %w", r.maxSteps(), cause))
+}
+
+// fabricErr wraps cause in a *FabricError carrying the fabric's full
+// failure context (survivors, losses, quarantines, rollbacks).
+func (r *run) fabricErr(cause error) *FabricError {
 	return &FabricError{
-		Devices:    r.sv.devices,
-		Survivors:  r.f.live(),
-		MinDevices: r.sv.minDevices,
-		Lost:       append([]int(nil), r.res.LostDevices...),
-		Rollbacks:  r.res.Rollbacks,
-		Err:        fmt.Errorf("superstep watchdog tripped after %d supersteps: %w", r.maxSteps(), cause),
+		Devices:     r.sv.devices,
+		Survivors:   r.f.live(),
+		MinDevices:  r.sv.minDevices,
+		Lost:        append([]int(nil), r.res.LostDevices...),
+		Quarantined: append([]int(nil), r.g.quarantined...),
+		Rollbacks:   r.res.Rollbacks,
+		Err:         cause,
 	}
 }
 
@@ -380,6 +422,16 @@ func (r *run) attempt(ctx context.Context) error {
 		if err := r.watchdog(start); err != nil {
 			return err
 		}
+		// Guard verification runs at cadence ahead of the checkpoint
+		// decision, and the supervisor cross-checks shard summaries
+		// against its held duals every outer loop (GuardInvariants and
+		// above), so corruption is caught before it can be snapshotted.
+		if err := r.maybeGuard(); err != nil {
+			return err
+		}
+		if err := r.crossCheck(); err != nil {
+			return err
+		}
 		// Checkpoints are taken only here, at the top of the outer loop:
 		// after an augment the covers and primes are clear, so a restored
 		// state is always a valid step-3 entry point. Snapshotting inside
@@ -400,6 +452,11 @@ func (r *run) attempt(ctx context.Context) error {
 				return err
 			}
 			if err := r.watchdog(start); err != nil {
+				return err
+			}
+			// A paranoid fabric verifies mid-search too: the zero search
+			// can run many supersteps between outer loops.
+			if err := r.maybeGuard(); err != nil {
 				return err
 			}
 			i, j, found, err := r.step4Scan()
@@ -451,7 +508,7 @@ func (r *run) initSteps() error {
 			}
 		}
 		for j := range row {
-			row[j] -= m
+			r.setSlack(i*n+j, row[j]-m)
 		}
 		st.u[i] += m
 	}
@@ -467,7 +524,7 @@ func (r *run) initSteps() error {
 		}
 		if m != 0 {
 			for i := 0; i < n; i++ {
-				st.s[i*n+j] -= m
+				r.setSlack(i*n+j, st.s[i*n+j]-m)
 			}
 		}
 		st.v[j] += m
@@ -584,7 +641,16 @@ func (r *run) step6Update() error {
 		}
 	}
 	if min <= 0 {
-		return fmt.Errorf("shard: step 6 found no positive uncovered minimum (min = %g)", min)
+		// A non-positive δ means the slack matrix itself is inconsistent
+		// — on a guarded fabric that is a detection (silent corruption
+		// drove a slack negative or zeroed the whole frontier), and it
+		// surfaces typed so rollback recovery can handle it. Unguarded,
+		// it stays the untyped wedge it always was.
+		err := fmt.Errorf("shard: step 6 found no positive uncovered minimum (min = %g)", min)
+		if r.g.armed() {
+			return r.corruption("fabric:positive-delta", -1, err)
+		}
+		return err
 	}
 	if err := r.superstep(phaseCharge{phase: "shard:s6_update", scan: true}); err != nil {
 		return err
@@ -593,9 +659,9 @@ func (r *run) step6Update() error {
 		for j := 0; j < n; j++ {
 			switch {
 			case st.rowCov[i] && st.colCov[j]:
-				st.s[i*n+j] += min
+				r.setSlack(i*n+j, st.s[i*n+j]+min)
 			case !st.rowCov[i] && !st.colCov[j]:
-				st.s[i*n+j] -= min
+				r.setSlack(i*n+j, st.s[i*n+j]-min)
 			}
 		}
 	}
@@ -612,13 +678,22 @@ func (r *run) step6Update() error {
 	return nil
 }
 
-// finish builds the solution and attests it against the pristine input
-// via the solver's own dual certificate, so a wrong matching can never
-// escape silently — mirroring the mandatory attestation of the
-// single-device core.
+// finish builds the solution and — under an armed guard — runs a final
+// block verification and then attests the answer against the pristine
+// input via the solver's own dual certificate, so a wrong matching
+// cannot escape a guarded fabric. At GuardOff the whole layer,
+// attestation included, is disabled: that is the deliberate escape
+// hatch the chaos control uses to demonstrate an uncaught wrong answer
+// (and the reason hunipu's public surface defaults sharded solves to
+// GuardChecksums instead of off).
 func (r *run) finish(ctx context.Context) (*lsap.Solution, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if r.g.armed() && r.g.lastVerify != r.f.step {
+		if err := r.guardVerify(); err != nil {
+			return nil, err
+		}
 	}
 	st := r.st
 	a := make(lsap.Assignment, st.n)
@@ -627,20 +702,9 @@ func (r *run) finish(ctx context.Context) (*lsap.Solution, error) {
 		U: append([]float64(nil), st.u...),
 		V: append([]float64(nil), st.v...),
 	}
-	var scale float64
-	for _, x := range r.c.Data {
-		if ax := math.Abs(x); ax > scale {
-			scale = ax
-		}
-	}
-	tol := 1e-9 * (1 + scale)
-	if err := lsap.VerifyOptimal(r.c, a, *p, tol); err != nil {
-		return nil, &faultinject.CorruptionError{
-			Guard:    "shard:attestation",
-			Detected: r.f.step,
-			Injected: -1,
-			Latency:  -1,
-			Err:      err,
+	if r.g.armed() {
+		if err := lsap.VerifyOptimal(r.c, a, *p, r.g.tol); err != nil {
+			return nil, r.corruption("shard:attestation", -1, err)
 		}
 	}
 	return &lsap.Solution{Assignment: a, Cost: a.Cost(r.c), Potentials: p}, nil

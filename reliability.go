@@ -124,6 +124,15 @@ type Attempt struct {
 	// before the fallback ladder took over.
 	LostDevices []int
 	Reshards    int
+	// Retransmits counts collective frames a guarded sharded attempt
+	// moved again after a checksum-detected corruption on the wire —
+	// each retry re-priced at the modeled IPU-Link rate.
+	// QuarantinedDevices lists the fabric indices the guard layer
+	// Byzantine-classified and struck from the fabric (a subset of
+	// LostDevices). Like LostDevices, both are populated on failed
+	// attempts too.
+	Retransmits        int
+	QuarantinedDevices []int
 	// ShardDetail is the full fabric report of a sharded IPU attempt
 	// (per-chip stats, re-shard epochs, rollbacks); nil for unsharded
 	// attempts. Unlike IPUDetail it is populated even when the attempt

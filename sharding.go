@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"hunipu/internal/lsap"
+	"hunipu/internal/poplar"
 	"hunipu/internal/shard"
 )
 
@@ -14,16 +15,26 @@ import (
 // IPU-Link bandwidth, and losing a chip mid-solve is a recoverable
 // event — the fabric re-shards over the survivors and resumes from the
 // last globally consistent checkpoint (see package internal/shard and
-// DESIGN.md §5f).
+// DESIGN.md §5f–5g).
 //
 //	hunipu.Solve(costs, hunipu.WithShards(4),
 //		hunipu.WithFaultSchedule("deviceloss at=12 device=2"))
 //
 // k must be ≥ 1; WithShards(1) exercises the sharded execution path on
 // a single chip. The sharded path covers the IPU attempt only — GPU and
-// CPU fallbacks are unaffected — and it performs its own end-of-solve
-// dual-certificate attestation, so WithGuard policies (which instrument
-// the single-device engine) are ignored on sharded attempts.
+// CPU fallbacks are unaffected.
+//
+// WithGuard composes with WithShards: the policy arms the fabric guard
+// layer — checksummed collective frames with bounded retransmit,
+// per-shard block probes against incremental checksums (and, from
+// GuardInvariants up, the supervisor's held duals), quarantine-based
+// re-sharding of Byzantine chips, and end-of-solve attestation.
+// Sharded attempts default to GuardChecksums rather than off: a fabric
+// has K chips' worth of silent-corruption surface plus the IPU-Link
+// frames between them, so the unguarded mode is an explicit opt-out
+// (WithGuard(GuardOff), or guard=off in the schedule spec), not the
+// default. A guarded sharded solve either returns the certified
+// optimum or fails with a typed error — never a silently wrong answer.
 func WithShards(k int) Option {
 	return func(c *config) { c.shards = k }
 }
@@ -45,11 +56,19 @@ func WithMinShardFabric(min int) Option {
 func (c *config) solveSharded(ctx context.Context, m *lsap.Matrix) (*lsap.Solution, time.Duration, Attempt) {
 	att := Attempt{Device: DeviceIPU}
 	inj := c.injectorFor(DeviceIPU)
+	// Sharded attempts default to GuardChecksums: WithGuard or a
+	// schedule's guard= clause still win (resolveGuard precedence), but
+	// the configured fallback is never silently off on a fabric.
+	base := c.ipuOpts.Guard
+	if base == poplar.GuardOff {
+		base = poplar.GuardChecksums
+	}
 	so := shard.Options{
 		Config:     c.ipuOpts.Config,
 		Devices:    c.shards,
 		MinDevices: c.minFabric,
 		Fault:      inj,
+		Guard:      c.resolveGuard(base, inj),
 	}
 	if c.retries > 0 {
 		so.MaxRetries = c.retries
@@ -69,6 +88,14 @@ func (c *config) solveSharded(ctx context.Context, m *lsap.Matrix) (*lsap.Soluti
 		att.CheckpointsRestored = r.Rollbacks + len(r.Reshards)
 		att.LostDevices = append([]int(nil), r.LostDevices...)
 		att.Reshards = len(r.Reshards)
+		att.GuardTrips = r.GuardTrips
+		att.RollbackEpochs = r.RollbackEpochs
+		att.DetectionLatency = r.DetectionLatency
+		att.Retransmits = r.Retransmits
+		att.QuarantinedDevices = append([]int(nil), r.Quarantined...)
+		for _, s := range r.PerDevice {
+			att.GuardCycles += s.GuardCycles
+		}
 	}
 	if err != nil {
 		att.Err = err

@@ -114,3 +114,95 @@ func TestShardOptionValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestShardedSilentSurvived pins the guarded sharded path end to end:
+// silent frame corruption on the wire is absorbed by checksummed
+// retransmit under the sharded default policy (GuardChecksums, no
+// WithGuard needed), the answer stays optimal, and the public Attempt
+// carries the retransmit accounting.
+func TestShardedSilentSurvived(t *testing.T) {
+	costs := testCosts(24, 9)
+	clean, err := Solve(costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(costs,
+		WithShards(2),
+		WithFaultSchedule("linkflip at=12 device=1"),
+	)
+	if err != nil {
+		t.Fatalf("guarded fabric did not absorb the frame flip: %v", err)
+	}
+	if res.Cost != clean.Cost {
+		t.Fatalf("post-flip cost = %g, fault-free cost = %g", res.Cost, clean.Cost)
+	}
+	att := res.Report.Attempts[0]
+	if att.Retransmits == 0 {
+		t.Fatalf("Attempt.Retransmits = 0, want the repaired frame counted")
+	}
+	if att.GuardTrips == 0 {
+		t.Fatal("Attempt.GuardTrips = 0, want the receipt-time detection counted")
+	}
+	if att.GuardCycles == 0 {
+		t.Fatal("Attempt.GuardCycles = 0, want the guard overhead priced")
+	}
+	if len(att.QuarantinedDevices) != 0 {
+		t.Fatalf("Attempt.QuarantinedDevices = %v, want none for one repaired frame", att.QuarantinedDevices)
+	}
+}
+
+// TestShardedQuarantineRecorded drives a chip Byzantine (every frame it
+// sends is corrupted) on a fabric pinned at MinDevices: the attempt
+// fails typed and the failed Attempt still carries the quarantine and
+// the burned retransmit budget, mirroring the loss-report guarantee.
+func TestShardedQuarantineRecorded(t *testing.T) {
+	costs := testCosts(24, 10)
+	res, err := Solve(costs,
+		WithShards(2),
+		WithMinShardFabric(2),
+		WithFaultSchedule("linkflip every=1 device=1"),
+		WithFallback(DeviceCPU),
+	)
+	if err != nil {
+		t.Fatalf("fallback chain failed: %v", err)
+	}
+	if res.Device != DeviceCPU {
+		t.Fatalf("served by %v, want CPU fallback", res.Device)
+	}
+	att := res.Report.Attempts[0]
+	var fe *shard.FabricError
+	if !errors.As(att.Err, &fe) {
+		t.Fatalf("IPU attempt error = %v, want *shard.FabricError", att.Err)
+	}
+	if _, ok := AsCorruption(att.Err); !ok {
+		t.Fatalf("fabric failure does not unwrap to the corruption: %v", att.Err)
+	}
+	if len(att.QuarantinedDevices) != 1 || att.QuarantinedDevices[0] != 1 {
+		t.Fatalf("failed Attempt.QuarantinedDevices = %v, want [1]", att.QuarantinedDevices)
+	}
+	if att.Retransmits == 0 {
+		t.Fatal("failed Attempt.Retransmits = 0, want the burned budget recorded")
+	}
+}
+
+// TestShardedGuardOptOut pins the escape hatch: WithGuard(GuardOff) on
+// a sharded solve disarms the whole layer, so the same frame flip that
+// the default absorbs via retransmit lands unobserved.
+func TestShardedGuardOptOut(t *testing.T) {
+	costs := testCosts(24, 9)
+	res, err := Solve(costs,
+		WithShards(2),
+		WithGuard(GuardOff),
+		WithFaultSchedule("linkflip at=12 device=1"),
+	)
+	if err != nil {
+		t.Fatalf("unguarded solve errored: %v", err)
+	}
+	att := res.Report.Attempts[0]
+	if att.GuardTrips != 0 || att.Retransmits != 0 {
+		t.Fatalf("GuardOff still tripped: trips=%d retx=%d", att.GuardTrips, att.Retransmits)
+	}
+	if att.Faults == 0 {
+		t.Fatal("flip never fired")
+	}
+}
