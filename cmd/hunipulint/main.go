@@ -3,15 +3,24 @@
 //
 // Usage:
 //
-//	hunipulint [-json] [-checks list] [packages...]
+//	hunipulint [-json] [-checks list] [-sarif file] [-baseline file]
+//	           [-write-baseline file] [packages...]
 //
 // Packages default to ./... and follow the usual pattern forms
 // (./internal/poplar, ./...). The tool is stdlib-only: it parses and
 // type-checks from source, so it needs no build cache and no
 // golang.org/x/tools.
 //
-// Exit codes: 0 — clean; 1 — findings reported; 2 — driver error
-// (unparseable package, unknown check, bad usage).
+// -sarif writes all findings as a SARIF 2.1.0 log (CI uploads it as
+// an artifact) in addition to the normal output. -baseline enables
+// the no-new-findings ratchet: findings matching the committed
+// baseline are accepted, only new ones are printed and fail the run,
+// and stale baseline entries are pointed out on stderr so the file
+// can be re-tightened with -write-baseline.
+//
+// Exit codes: 0 — clean (or no findings beyond the baseline); 1 —
+// new findings reported; 2 — driver error (unparseable package,
+// unknown check, bad usage).
 package main
 
 import (
@@ -29,9 +38,12 @@ func main() {
 
 func run(args []string) int {
 	fs := flag.NewFlagSet("hunipulint", flag.ContinueOnError)
-	jsonOut := fs.Bool("json", false, "emit findings as a JSON array of {file, line, check, message}")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array of {file, line, col, endLine, check, message}")
 	checks := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
 	list := fs.Bool("list", false, "list available checks and exit")
+	sarifPath := fs.String("sarif", "", "also write every finding as a SARIF 2.1.0 log to this file")
+	baselinePath := fs.String("baseline", "", "accept findings recorded in this baseline file; fail only on new ones")
+	writeBaseline := fs.String("write-baseline", "", "record the current findings as the accepted baseline in this file and exit clean")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -78,19 +90,80 @@ func run(args []string) int {
 	}
 
 	findings := analysis.Run(pkgs, selected)
-	if *jsonOut {
-		if err := analysis.WriteJSON(os.Stdout, findings); err != nil {
+
+	// The SARIF artifact always carries the full finding set, baseline
+	// or not: the ratchet decides the exit code, the artifact records
+	// reality.
+	if *sarifPath != "" {
+		if err := writeFileWith(*sarifPath, func(w *os.File) error {
+			return analysis.WriteSARIF(w, findings, selected)
+		}); err != nil {
 			fmt.Fprintln(os.Stderr, "hunipulint:", err)
 			return 2
 		}
-	} else if err := analysis.WriteText(os.Stdout, findings); err != nil {
+	}
+	if *writeBaseline != "" {
+		if err := writeFileWith(*writeBaseline, func(w *os.File) error {
+			return analysis.WriteBaseline(w, analysis.NewBaseline(findings))
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "hunipulint:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "hunipulint: wrote %s accepting %d finding(s)\n", *writeBaseline, len(findings))
+		return 0
+	}
+
+	display := findings
+	if *baselinePath != "" {
+		bf, err := os.Open(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hunipulint:", err)
+			return 2
+		}
+		base, err := analysis.ReadBaseline(bf)
+		_ = bf.Close() // read-only; the decode error is the one that matters
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hunipulint: %s: %v\n", *baselinePath, err)
+			return 2
+		}
+		var stale []analysis.BaselineEntry
+		display, stale = base.Diff(findings)
+		for _, e := range stale {
+			fmt.Fprintf(os.Stderr, "hunipulint: stale baseline entry %s %s: %s (re-tighten with -write-baseline)\n",
+				e.File, e.Check, e.Message)
+		}
+	}
+
+	if *jsonOut {
+		if err := analysis.WriteJSON(os.Stdout, display); err != nil {
+			fmt.Fprintln(os.Stderr, "hunipulint:", err)
+			return 2
+		}
+	} else if err := analysis.WriteText(os.Stdout, display); err != nil {
 		fmt.Fprintln(os.Stderr, "hunipulint:", err)
 		return 2
 	}
-	if len(findings) > 0 {
+	if len(display) > 0 {
+		if *baselinePath != "" {
+			fmt.Fprintf(os.Stderr, "hunipulint: %d finding(s) not in baseline %s\n", len(display), *baselinePath)
+		}
 		return 1
 	}
 	return 0
+}
+
+// writeFileWith creates path and runs emit against it, closing on the
+// way out and reporting the first error.
+func writeFileWith(path string, emit func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := emit(f); err != nil {
+		_ = f.Close() // the emit error takes precedence
+		return err
+	}
+	return f.Close()
 }
 
 // selectAnalyzers resolves the -checks flag against the registry.

@@ -1,9 +1,13 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"hunipu/internal/analysis"
 )
 
 // writeModule lays out a throwaway single-package module and chdirs
@@ -96,5 +100,112 @@ func TestChecksSubset(t *testing.T) {
 func TestListExitsZero(t *testing.T) {
 	if code := run([]string{"-list"}); code != 0 {
 		t.Fatalf("-list: exit %d, want 0", code)
+	}
+}
+
+// captureStdout runs f with os.Stdout redirected to a pipe and
+// returns what it wrote.
+func captureStdout(t *testing.T, f func()) []byte {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	f()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// -json findings carry real col and endLine coordinates end to end.
+func TestJSONCarriesColAndEndLine(t *testing.T) {
+	writeModule(t, dirtySource)
+	out := captureStdout(t, func() {
+		if code := run([]string{"-json", "./..."}); code != 1 {
+			t.Errorf("dirty module -json: exit %d, want 1", code)
+		}
+	})
+	var findings []analysis.Finding
+	if err := json.Unmarshal(out, &findings); err != nil {
+		t.Fatalf("-json output did not parse: %v\n%s", err, out)
+	}
+	if len(findings) == 0 {
+		t.Fatal("no findings in -json output")
+	}
+	for _, f := range findings {
+		if f.Col < 1 {
+			t.Fatalf("finding %+v has no column", f)
+		}
+		if f.EndLine < f.Line {
+			t.Fatalf("finding %+v has endLine before line", f)
+		}
+	}
+}
+
+// -sarif writes a parseable SARIF 2.1.0 log that round-trips the
+// findings.
+func TestSARIFFlagRoundTrips(t *testing.T) {
+	writeModule(t, dirtySource)
+	if code := run([]string{"-sarif", "out.sarif", "./..."}); code != 1 {
+		t.Fatalf("dirty module: exit %d, want 1", code)
+	}
+	f, err := os.Open("out.sarif")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	findings, err := analysis.ParseSARIF(f)
+	if err != nil {
+		t.Fatalf("SARIF log did not parse: %v", err)
+	}
+	found := false
+	for _, fd := range findings {
+		if fd.Check == "errdiscipline" && fd.File == "lib.go" && fd.Line > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("errdiscipline finding missing from SARIF log: %+v", findings)
+	}
+}
+
+// The baseline ratchet: existing findings are accepted, a seeded new
+// finding still fails.
+func TestBaselineRatchetRejectsNewFinding(t *testing.T) {
+	writeModule(t, dirtySource)
+	if code := run([]string{"-write-baseline", "base.json", "./..."}); code != 0 {
+		t.Fatalf("-write-baseline: exit %d, want 0", code)
+	}
+	if code := run([]string{"-baseline", "base.json", "./..."}); code != 0 {
+		t.Fatalf("baselined findings must not fail the run, got exit %d", code)
+	}
+	// Seed a new violation in a second file: same check, new shape.
+	seeded := `package lib
+
+func DropTwo() {
+	Work()
+	Work()
+}
+`
+	if err := os.WriteFile("seeded.go", []byte(seeded), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-baseline", "base.json", "./..."}); code != 1 {
+		t.Fatalf("seeded finding must fail against the baseline, got exit %d", code)
+	}
+	// Re-tightening accepts it again.
+	if code := run([]string{"-write-baseline", "base.json", "./..."}); code != 0 {
+		t.Fatalf("re-tighten: exit %d, want 0", code)
+	}
+	if code := run([]string{"-baseline", "base.json", "./..."}); code != 0 {
+		t.Fatalf("re-tightened baseline must accept the tree, got exit %d", code)
 	}
 }

@@ -47,11 +47,15 @@ import (
 	"strings"
 )
 
-// Finding is one diagnostic. The JSON shape {file, line, check,
-// message} is the tool-consumption contract of `hunipulint -json`.
+// Finding is one diagnostic. The JSON shape {file, line, col, endLine,
+// check, message} is the tool-consumption contract of `hunipulint
+// -json`; col and endLine also feed the SARIF region so PR annotations
+// can underline the offending range rather than a bare line.
 type Finding struct {
 	File    string `json:"file"`
 	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	EndLine int    `json:"endLine"`
 	Check   string `json:"check"`
 	Message string `json:"message"`
 }
@@ -61,15 +65,19 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d: %s: %s", f.File, f.Line, f.Check, f.Message)
 }
 
-// Analyzer is one named check over a type-checked package.
+// Analyzer is one named check. Exactly one of Run (per-package
+// syntactic tier) or RunProgram (whole-program dataflow tier) is set.
 type Analyzer struct {
 	// Name is the check identifier used in findings and ignore
 	// directives.
 	Name string
 	// Doc is a one-line description.
 	Doc string
-	// Run inspects the package and reports findings through the pass.
+	// Run inspects one package and reports findings through the pass.
 	Run func(p *Pass)
+	// RunProgram inspects the whole program (all packages plus the
+	// call graph) and reports findings through the program pass.
+	RunProgram func(p *ProgramPass)
 }
 
 // Package is one loaded, type-checked package.
@@ -85,7 +93,8 @@ type Package struct {
 	// Types is the checked package object.
 	Types *types.Package
 
-	ignores map[string]map[int][]string // file → line → suppressed checks
+	ignores    map[string]map[int][]string // file → line → suppressed checks
+	directives map[string]map[int][]string // file → line → function directives
 }
 
 // Pass carries one analyzer's run over one package.
@@ -98,16 +107,68 @@ type Pass struct {
 // Reportf records a finding at pos unless an ignore directive
 // suppresses this check on that line.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	position := p.Pkg.Fset.Position(pos)
-	if p.Pkg.suppressed(p.analyzer.Name, position) {
+	report(p.Pkg, p.analyzer, p.findings, pos, token.NoPos, format, args...)
+}
+
+// ReportNodef records a finding spanning node's source range.
+func (p *Pass) ReportNodef(node ast.Node, format string, args ...any) {
+	report(p.Pkg, p.analyzer, p.findings, node.Pos(), node.End(), format, args...)
+}
+
+// report is the shared suppression-aware finding constructor. end may
+// be token.NoPos, in which case the finding covers a single line.
+func report(pkg *Package, a *Analyzer, findings *[]Finding, pos, end token.Pos, format string, args ...any) {
+	position := pkg.Fset.Position(pos)
+	if pkg.suppressed(a.Name, position) {
 		return
 	}
-	*p.findings = append(*p.findings, Finding{
+	endLine := position.Line
+	if end.IsValid() {
+		if e := pkg.Fset.Position(end); e.Filename == position.Filename && e.Line > endLine {
+			endLine = e.Line
+		}
+	}
+	*findings = append(*findings, Finding{
 		File:    position.Filename,
 		Line:    position.Line,
-		Check:   p.analyzer.Name,
+		Col:     position.Column,
+		EndLine: endLine,
+		Check:   a.Name,
 		Message: fmt.Sprintf(format, args...),
 	})
+}
+
+// Program is the whole-program view handed to dataflow-tier analyzers:
+// every loaded package plus the types-resolved call graph across them.
+type Program struct {
+	Pkgs []*Package
+	CG   *CallGraph
+}
+
+// BuildProgram assembles the program view for pkgs, building ignore
+// and function-directive indexes along the way.
+func BuildProgram(pkgs []*Package) *Program {
+	for _, pkg := range pkgs {
+		pkg.buildIgnores()
+	}
+	return &Program{Pkgs: pkgs, CG: BuildCallGraph(pkgs)}
+}
+
+// ProgramPass carries one dataflow analyzer's run over a program.
+type ProgramPass struct {
+	Prog     *Program
+	analyzer *Analyzer
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos inside pkg (suppression-aware).
+func (p *ProgramPass) Reportf(pkg *Package, pos token.Pos, format string, args ...any) {
+	report(pkg, p.analyzer, p.findings, pos, token.NoPos, format, args...)
+}
+
+// ReportNodef records a finding spanning node's range inside pkg.
+func (p *ProgramPass) ReportNodef(pkg *Package, node ast.Node, format string, args ...any) {
+	report(pkg, p.analyzer, p.findings, node.Pos(), node.End(), format, args...)
 }
 
 // TypeOf is a nil-safe shorthand for the type of an expression.
@@ -130,17 +191,35 @@ func Analyzers() []*Analyzer {
 		NoAtomics,
 		MutexCopy,
 		LeakyGo,
+		CycleCharge,
+		LockDiscipline,
+		HotAlloc,
 	}
 }
 
 // Run applies every analyzer to every package and returns the combined
-// findings sorted by (file, line, check).
+// findings sorted by (file, line, check). Per-package analyzers run
+// first; if any dataflow-tier analyzer is selected, the call graph is
+// built once and shared across them.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	var findings []Finding
+	var programTier []*Analyzer
 	for _, pkg := range pkgs {
 		pkg.buildIgnores()
-		for _, a := range analyzers {
+	}
+	for _, a := range analyzers {
+		if a.RunProgram != nil {
+			programTier = append(programTier, a)
+			continue
+		}
+		for _, pkg := range pkgs {
 			a.Run(&Pass{Pkg: pkg, analyzer: a, findings: &findings})
+		}
+	}
+	if len(programTier) > 0 {
+		prog := BuildProgram(pkgs)
+		for _, a := range programTier {
+			a.RunProgram(&ProgramPass{Prog: prog, analyzer: a, findings: &findings})
 		}
 	}
 	sort.Slice(findings, func(i, j int) bool {

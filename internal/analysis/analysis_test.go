@@ -10,12 +10,12 @@ import (
 )
 
 // TestWriteJSONSchema pins the -json contract: an array of objects
-// with exactly the keys file, line, check, message.
+// with exactly the keys file, line, col, endLine, check, message.
 func TestWriteJSONSchema(t *testing.T) {
 	var buf bytes.Buffer
 	findings := []Finding{
-		{File: "a.go", Line: 3, Check: "ctxflow", Message: "m1"},
-		{File: "b.go", Line: 7, Check: "leakygo", Message: "m2"},
+		{File: "a.go", Line: 3, Col: 2, EndLine: 3, Check: "ctxflow", Message: "m1"},
+		{File: "b.go", Line: 7, Col: 9, EndLine: 8, Check: "leakygo", Message: "m2"},
 	}
 	if err := WriteJSON(&buf, findings); err != nil {
 		t.Fatal(err)
@@ -33,12 +33,17 @@ func TestWriteJSONSchema(t *testing.T) {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
-		if got := strings.Join(keys, ","); got != "check,file,line,message" {
-			t.Fatalf("finding keys = %s, want exactly check,file,line,message", got)
+		if got := strings.Join(keys, ","); got != "check,col,endLine,file,line,message" {
+			t.Fatalf("finding keys = %s, want exactly check,col,endLine,file,line,message", got)
 		}
-		if _, ok := obj["line"].(float64); !ok {
-			t.Fatalf("line must be a JSON number, got %T", obj["line"])
+		for _, numKey := range []string{"line", "col", "endLine"} {
+			if _, ok := obj[numKey].(float64); !ok {
+				t.Fatalf("%s must be a JSON number, got %T", numKey, obj[numKey])
+			}
 		}
+	}
+	if parsed[1]["endLine"].(float64) != 8 {
+		t.Fatalf("endLine not preserved: %v", parsed[1]["endLine"])
 	}
 }
 

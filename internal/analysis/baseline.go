@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Findings baseline: the no-new-findings ratchet. The committed
+// baseline records, per (file, check, message) key, how many findings
+// of that shape are accepted. A run regresses when any key's count
+// exceeds the baseline (new finding) — line numbers are deliberately
+// not part of the key, so unrelated edits that shift code do not
+// invalidate the baseline, while a genuinely new finding (or a second
+// instance of an old one) fails. Keys that disappear are reported as
+// stale so the baseline can be re-tightened with -write-baseline.
+
+// Baseline maps finding keys to accepted counts.
+type Baseline struct {
+	// Version guards the file format.
+	Version int `json:"version"`
+	// Counts maps "file\x00check\x00message" → accepted count, stored
+	// as a sorted list for stable diffs.
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// BaselineEntry is one accepted finding shape.
+type BaselineEntry struct {
+	File    string `json:"file"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+	Count   int    `json:"count"`
+}
+
+func baselineKey(file, check, message string) string {
+	return file + "\x00" + check + "\x00" + message
+}
+
+// NewBaseline captures the current findings as the accepted set.
+func NewBaseline(findings []Finding) *Baseline {
+	counts := map[string]*BaselineEntry{}
+	for _, f := range findings {
+		k := baselineKey(f.File, f.Check, f.Message)
+		if e, ok := counts[k]; ok {
+			e.Count++
+			continue
+		}
+		counts[k] = &BaselineEntry{File: f.File, Check: f.Check, Message: f.Message, Count: 1}
+	}
+	b := &Baseline{Version: 1}
+	for _, e := range counts {
+		b.Entries = append(b.Entries, *e)
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Check != c.Check {
+			return a.Check < c.Check
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// WriteBaseline serializes the baseline.
+func WriteBaseline(w io.Writer, b *Baseline) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// ReadBaseline parses a baseline file.
+func ReadBaseline(r io.Reader) (*Baseline, error) {
+	var b Baseline
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return nil, err
+	}
+	if b.Version != 1 {
+		return nil, fmt.Errorf("unsupported baseline version %d", b.Version)
+	}
+	return &b, nil
+}
+
+// Diff compares findings against the baseline. new findings are those
+// exceeding their key's accepted count; stale lists baseline entries
+// no current finding matches (candidates for re-tightening).
+func (b *Baseline) Diff(findings []Finding) (newFindings []Finding, stale []BaselineEntry) {
+	accepted := map[string]int{}
+	for _, e := range b.Entries {
+		accepted[baselineKey(e.File, e.Check, e.Message)] = e.Count
+	}
+	seen := map[string]int{}
+	for _, f := range findings {
+		k := baselineKey(f.File, f.Check, f.Message)
+		seen[k]++
+		if seen[k] > accepted[k] {
+			newFindings = append(newFindings, f)
+		}
+	}
+	for _, e := range b.Entries {
+		if seen[baselineKey(e.File, e.Check, e.Message)] == 0 {
+			stale = append(stale, e)
+		}
+	}
+	return newFindings, stale
+}

@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func baselineFinding(file, check, msg string, line int) Finding {
+	return Finding{File: file, Line: line, Col: 1, EndLine: line, Check: check, Message: msg}
+}
+
+// TestBaselineCountsAndKeying: entries key on (file, check, message)
+// with counts, not line numbers — line drift does not regress.
+func TestBaselineCountsAndKeying(t *testing.T) {
+	findings := []Finding{
+		baselineFinding("a.go", "hotalloc", "map literal", 10),
+		baselineFinding("a.go", "hotalloc", "map literal", 40),
+		baselineFinding("b.go", "cyclecharge", "uncharged", 7),
+	}
+	b := NewBaseline(findings)
+	if len(b.Entries) != 2 {
+		t.Fatalf("entries = %d, want 2 (duplicates folded into a count)", len(b.Entries))
+	}
+	if b.Entries[0].Count != 2 || b.Entries[0].File != "a.go" {
+		t.Fatalf("first entry = %+v, want a.go count 2 (sorted)", b.Entries[0])
+	}
+
+	// The same findings on different lines are still accepted.
+	drifted := []Finding{
+		baselineFinding("a.go", "hotalloc", "map literal", 99),
+		baselineFinding("a.go", "hotalloc", "map literal", 120),
+		baselineFinding("b.go", "cyclecharge", "uncharged", 1),
+	}
+	newF, stale := b.Diff(drifted)
+	if len(newF) != 0 || len(stale) != 0 {
+		t.Fatalf("line drift must not regress: new=%v stale=%v", newF, stale)
+	}
+}
+
+// TestBaselineRejectsExtraInstance: a third instance of an accepted
+// shape is still a new finding.
+func TestBaselineRejectsExtraInstance(t *testing.T) {
+	b := NewBaseline([]Finding{
+		baselineFinding("a.go", "hotalloc", "map literal", 10),
+		baselineFinding("a.go", "hotalloc", "map literal", 40),
+	})
+	grown := []Finding{
+		baselineFinding("a.go", "hotalloc", "map literal", 10),
+		baselineFinding("a.go", "hotalloc", "map literal", 40),
+		baselineFinding("a.go", "hotalloc", "map literal", 80),
+	}
+	newF, _ := b.Diff(grown)
+	if len(newF) != 1 || newF[0].Line != 80 {
+		t.Fatalf("third instance must surface as new, got %v", newF)
+	}
+}
+
+// TestBaselineStaleEntries: fixed findings are reported as stale so
+// the baseline can be re-tightened.
+func TestBaselineStaleEntries(t *testing.T) {
+	b := NewBaseline([]Finding{
+		baselineFinding("a.go", "hotalloc", "map literal", 10),
+		baselineFinding("b.go", "cyclecharge", "uncharged", 7),
+	})
+	newF, stale := b.Diff([]Finding{baselineFinding("a.go", "hotalloc", "map literal", 10)})
+	if len(newF) != 0 {
+		t.Fatalf("unexpected new findings: %v", newF)
+	}
+	if len(stale) != 1 || stale[0].File != "b.go" {
+		t.Fatalf("stale = %v, want the fixed b.go entry", stale)
+	}
+}
+
+// TestBaselineSerializationRoundTrip and version guard.
+func TestBaselineSerializationRoundTrip(t *testing.T) {
+	b := NewBaseline([]Finding{baselineFinding("a.go", "hotalloc", "map literal", 10)})
+	var buf bytes.Buffer
+	if err := WriteBaseline(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBaseline(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != 1 || got.Entries[0] != b.Entries[0] {
+		t.Fatalf("round-trip changed entries: %+v vs %+v", got.Entries, b.Entries)
+	}
+	if _, err := ReadBaseline(strings.NewReader(`{"version": 9, "entries": []}`)); err == nil {
+		t.Fatal("unknown baseline version must be rejected")
+	}
+}

@@ -1,0 +1,280 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// FuncNode is one analyzable function: a declared function or method
+// with a body, or a function literal. Literals are first-class nodes
+// so closures passed to goroutines, engines and hooks are analyzed
+// with their own CFGs.
+type FuncNode struct {
+	Pkg  *Package
+	Obj  *types.Func   // nil for literals
+	Decl *ast.FuncDecl // nil for literals
+	Lit  *ast.FuncLit  // nil for declarations
+	Name string        // qualified display name, e.g. (*Device).ChargeGuard or solve.func1
+	Body *ast.BlockStmt
+
+	// Referenced is true when the function's value escapes a direct
+	// call position (method value, func value passed around): it may
+	// be invoked from anywhere, so root-style reporting applies.
+	Referenced bool
+
+	cfg *CFG
+}
+
+// CFG returns the function's control-flow graph, built on first use.
+func (f *FuncNode) CFG() *CFG {
+	if f.cfg == nil {
+		f.cfg = BuildCFG(f.Body)
+	}
+	return f.cfg
+}
+
+// EdgeKind classifies call-graph edges.
+type EdgeKind int
+
+const (
+	// EdgeCall is a direct call: f() or x.M() resolved statically.
+	EdgeCall EdgeKind = iota
+	// EdgeRef is a function or method value reference outside a call
+	// position (the target may be invoked later, indirectly).
+	EdgeRef
+	// EdgeClosure links a function to a literal it creates. The
+	// literal usually runs in the creator's dynamic context (deferred,
+	// passed to an engine, or launched as a goroutine).
+	EdgeClosure
+)
+
+// Edge is one resolved call-graph edge.
+type Edge struct {
+	Site   ast.Node // the call, reference, or literal
+	Callee *FuncNode
+	Kind   EdgeKind
+}
+
+// CallGraph holds every function in the program and the resolved
+// edges between them.
+type CallGraph struct {
+	Funcs []*FuncNode
+	ByObj map[*types.Func]*FuncNode
+	Out   map[*FuncNode][]Edge
+	// Callers lists, per function, the functions holding an EdgeCall
+	// to it (closure and ref edges excluded).
+	Callers map[*FuncNode][]*FuncNode
+}
+
+// BuildCallGraph walks every package, creates nodes for declarations
+// and literals, and resolves direct-call, method-value and closure
+// edges through the type checker.
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	cg := &CallGraph{
+		ByObj:   map[*types.Func]*FuncNode{},
+		Out:     map[*FuncNode][]Edge{},
+		Callers: map[*FuncNode][]*FuncNode{},
+	}
+	// First pass: declaration nodes, so cross-package edges resolve
+	// regardless of package order.
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				n := &FuncNode{
+					Pkg:  pkg,
+					Obj:  obj,
+					Decl: fd,
+					Name: declName(fd),
+					Body: fd.Body,
+				}
+				cg.Funcs = append(cg.Funcs, n)
+				if obj != nil {
+					cg.ByObj[obj] = n
+				}
+			}
+		}
+	}
+	// Second pass: walk bodies, creating literal nodes and edges.
+	for _, n := range append([]*FuncNode{}, cg.Funcs...) {
+		if n.Decl != nil {
+			cg.walkBody(n)
+		}
+	}
+	// Derive caller lists.
+	for caller, edges := range cg.Out {
+		for _, e := range edges {
+			if e.Kind == EdgeCall {
+				cg.Callers[e.Callee] = append(cg.Callers[e.Callee], caller)
+			}
+			if e.Kind == EdgeRef {
+				e.Callee.Referenced = true
+			}
+		}
+	}
+	sort.Slice(cg.Funcs, func(i, j int) bool {
+		pi := cg.Funcs[i].Pkg.Fset.Position(cg.Funcs[i].Body.Pos())
+		pj := cg.Funcs[j].Pkg.Fset.Position(cg.Funcs[j].Body.Pos())
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		return pi.Offset < pj.Offset
+	})
+	return cg
+}
+
+// walkBody resolves edges out of fn, creating nodes for nested
+// literals (each literal's own body is walked under its node, not the
+// enclosing function's).
+func (cg *CallGraph) walkBody(fn *FuncNode) {
+	info := fn.Pkg.Info
+	litCount := 0
+	var walk func(node ast.Node, owner *FuncNode)
+	walk = func(node ast.Node, owner *FuncNode) {
+		ast.Inspect(node, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				litCount++
+				lit := &FuncNode{
+					Pkg:  fn.Pkg,
+					Lit:  n,
+					Name: fmt.Sprintf("%s.func%d", fn.Name, litCount),
+					Body: n.Body,
+				}
+				cg.Funcs = append(cg.Funcs, lit)
+				cg.Out[owner] = append(cg.Out[owner], Edge{Site: n, Callee: lit, Kind: EdgeClosure})
+				walk(n.Body, lit)
+				return false // children handled under the literal node
+			case *ast.CallExpr:
+				// Resolve the callee; arguments and a non-trivial Fun
+				// expression are still visited normally.
+				switch fun := n.Fun.(type) {
+				case *ast.FuncLit:
+					// (func(){...})() — the literal node is created by
+					// the FuncLit case; record the call edge too.
+					litCount++
+					lit := &FuncNode{
+						Pkg:  fn.Pkg,
+						Lit:  fun,
+						Name: fmt.Sprintf("%s.func%d", fn.Name, litCount),
+						Body: fun.Body,
+					}
+					cg.Funcs = append(cg.Funcs, lit)
+					cg.Out[owner] = append(cg.Out[owner], Edge{Site: n, Callee: lit, Kind: EdgeCall})
+					walk(fun.Body, lit)
+					for _, arg := range n.Args {
+						walk(arg, owner)
+					}
+					return false
+				case *ast.Ident:
+					if callee := cg.resolve(info, fun); callee != nil {
+						cg.Out[owner] = append(cg.Out[owner], Edge{Site: n, Callee: callee, Kind: EdgeCall})
+					}
+					for _, arg := range n.Args {
+						walk(arg, owner)
+					}
+					return false
+				case *ast.SelectorExpr:
+					if callee := cg.resolve(info, fun.Sel); callee != nil {
+						cg.Out[owner] = append(cg.Out[owner], Edge{Site: n, Callee: callee, Kind: EdgeCall})
+					}
+					walk(fun.X, owner) // receiver expression may contain calls
+					for _, arg := range n.Args {
+						walk(arg, owner)
+					}
+					return false
+				}
+				return true
+			case *ast.Ident:
+				// An identifier naming a function outside a call
+				// position is a value reference (method values are
+				// SelectorExprs and handled below via their Sel).
+				if callee := cg.resolve(info, n); callee != nil {
+					cg.Out[owner] = append(cg.Out[owner], Edge{Site: n, Callee: callee, Kind: EdgeRef})
+				}
+			}
+			return true
+		})
+	}
+	walk(fn.Body, fn)
+}
+
+// CalleeOf resolves a call expression to a known function node (nil
+// for indirect calls, builtins, conversions, and bodyless targets).
+func (cg *CallGraph) CalleeOf(info *types.Info, call *ast.CallExpr) *FuncNode {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return cg.resolve(info, fun)
+	case *ast.SelectorExpr:
+		return cg.resolve(info, fun.Sel)
+	}
+	return nil
+}
+
+// resolve maps an identifier use to a known function node.
+func (cg *CallGraph) resolve(info *types.Info, id *ast.Ident) *FuncNode {
+	if obj, ok := info.Uses[id].(*types.Func); ok {
+		return cg.ByObj[obj]
+	}
+	return nil
+}
+
+// declName renders a deterministic display name for a declaration.
+func declName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	recv := fd.Recv.List[0].Type
+	return fmt.Sprintf("(%s).%s", typeExprString(recv), fd.Name.Name)
+}
+
+// typeExprString renders a receiver type expression without positions.
+func typeExprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.StarExpr:
+		return "*" + typeExprString(e.X)
+	case *ast.IndexExpr:
+		return typeExprString(e.X)
+	case *ast.IndexListExpr:
+		return typeExprString(e.X)
+	case *ast.SelectorExpr:
+		return typeExprString(e.X) + "." + e.Sel.Name
+	default:
+		return "?"
+	}
+}
+
+// Fixpoint repeatedly applies recompute to every function until no
+// summary changes. recompute returns true when f's summary changed;
+// its callers are then requeued (callee summaries feed caller
+// summaries in both cyclecharge and lockdiscipline).
+func (cg *CallGraph) Fixpoint(recompute func(f *FuncNode) bool) {
+	inQueue := map[*FuncNode]bool{}
+	queue := make([]*FuncNode, 0, len(cg.Funcs))
+	for _, f := range cg.Funcs {
+		queue = append(queue, f)
+		inQueue[f] = true
+	}
+	for len(queue) > 0 {
+		f := queue[0]
+		queue = queue[1:]
+		inQueue[f] = false
+		if !recompute(f) {
+			continue
+		}
+		for _, caller := range cg.Callers[f] {
+			if !inQueue[caller] {
+				inQueue[caller] = true
+				queue = append(queue, caller)
+			}
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+)
+
+const cgSrc = `package p
+
+type T struct{}
+
+func (t T) M() {}
+
+func helper() {}
+
+func Direct() { helper() }
+
+func MethodCall(t T) { t.M() }
+
+func MethodValue(t T) func() { return t.M }
+
+func Closure() {
+	f := func() { helper() }
+	f()
+}
+`
+
+func buildCG(t *testing.T) (*Package, *CallGraph) {
+	t.Helper()
+	pkg := parseSrc(t, cgSrc)
+	return pkg, BuildCallGraph([]*Package{pkg})
+}
+
+func funcNamed(t *testing.T, cg *CallGraph, name string) *FuncNode {
+	t.Helper()
+	for _, f := range cg.Funcs {
+		if f.Name == name || strings.HasSuffix(f.Name, name) {
+			return f
+		}
+	}
+	t.Fatalf("no call-graph node named %s", name)
+	return nil
+}
+
+func edgesTo(cg *CallGraph, from, to *FuncNode, kind EdgeKind) int {
+	count := 0
+	for _, e := range cg.Out[from] {
+		if e.Callee == to && e.Kind == kind {
+			count++
+		}
+	}
+	return count
+}
+
+// TestCallGraphDirectCall: plain calls produce EdgeCall and a Callers
+// back-link, and CalleeOf resolves the call site.
+func TestCallGraphDirectCall(t *testing.T) {
+	pkg, cg := buildCG(t)
+	direct := funcNamed(t, cg, "Direct")
+	helper := funcNamed(t, cg, "helper")
+	if edgesTo(cg, direct, helper, EdgeCall) != 1 {
+		t.Fatalf("Direct→helper: want one EdgeCall, got %v", cg.Out[direct])
+	}
+	callerFound := false
+	for _, c := range cg.Callers[helper] {
+		if c == direct {
+			callerFound = true
+		}
+	}
+	if !callerFound {
+		t.Fatal("helper's Callers must include Direct")
+	}
+	ast.Inspect(direct.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if got := cg.CalleeOf(pkg.Info, call); got != helper {
+				t.Fatalf("CalleeOf resolved %v, want helper", got)
+			}
+		}
+		return true
+	})
+}
+
+// TestCallGraphMethodEdges: method calls are EdgeCall; a method value
+// in non-call position is EdgeRef and marks the method Referenced (so
+// root-only checks treat it as externally reachable).
+func TestCallGraphMethodEdges(t *testing.T) {
+	_, cg := buildCG(t)
+	m := funcNamed(t, cg, "(T).M")
+	if edgesTo(cg, funcNamed(t, cg, "MethodCall"), m, EdgeCall) != 1 {
+		t.Fatal("MethodCall→(T).M: want one EdgeCall")
+	}
+	if edgesTo(cg, funcNamed(t, cg, "MethodValue"), m, EdgeRef) != 1 {
+		t.Fatal("MethodValue→(T).M: want one EdgeRef for the method value")
+	}
+	if !m.Referenced {
+		t.Fatal("a method value must mark its target Referenced")
+	}
+}
+
+// TestCallGraphClosure: a function literal is its own node, linked by
+// EdgeClosure from its creator, with its body's calls resolved.
+func TestCallGraphClosure(t *testing.T) {
+	_, cg := buildCG(t)
+	closure := funcNamed(t, cg, "Closure")
+	helper := funcNamed(t, cg, "helper")
+	var lit *FuncNode
+	for _, e := range cg.Out[closure] {
+		if e.Kind == EdgeClosure {
+			lit = e.Callee
+		}
+	}
+	if lit == nil {
+		t.Fatalf("Closure has no EdgeClosure: %v", cg.Out[closure])
+	}
+	if !strings.Contains(lit.Name, "func") {
+		t.Fatalf("literal node name %q should carry a funcN suffix", lit.Name)
+	}
+	if edgesTo(cg, lit, helper, EdgeCall) != 1 {
+		t.Fatal("the literal's body calls helper: want one EdgeCall from the literal node")
+	}
+}

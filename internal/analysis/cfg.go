@@ -1,0 +1,439 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CFG is a statement-granularity control-flow graph for one function
+// body. Entry and Exit are synthetic (Stmt == nil); every other node
+// wraps one ast.Stmt. Branch conditions are folded into their
+// statement's node (an *ast.IfStmt node covers init+cond; the branch
+// bodies are separate nodes). Deferred calls are recorded in Deferred
+// and conceptually execute on every path at Exit.
+type CFG struct {
+	Entry *CFGNode
+	Exit  *CFGNode
+	Nodes []*CFGNode
+	// Deferred lists the call expressions of every defer statement in
+	// the body, in source order. Dataflow clients that care about
+	// at-exit effects (deferred Unlock, deferred charge) consult this.
+	Deferred []*ast.CallExpr
+	// nonBlockingComm marks comm statements that belong to a select
+	// with a default clause: their channel operation cannot block.
+	nonBlockingComm map[ast.Stmt]bool
+}
+
+// CFGNode is one node in a CFG.
+type CFGNode struct {
+	Stmt  ast.Stmt // nil for Entry and Exit
+	Succs []*CFGNode
+	Preds []*CFGNode
+}
+
+// NonBlockingComm reports whether s is the communication statement of
+// a select case whose select carries a default clause (so the channel
+// operation is a poll, not a potential block).
+func (c *CFG) NonBlockingComm(s ast.Stmt) bool { return c.nonBlockingComm[s] }
+
+type cfgBuilder struct {
+	cfg *CFG
+	// break/continue patch lists: innermost last. Each frame collects
+	// the nodes that jump to the construct's after-point (break) or
+	// loop head (continue).
+	breaks    []*patchFrame
+	continues []*patchFrame
+}
+
+type patchFrame struct {
+	label string
+	nodes []*CFGNode
+	// head is the jump target for continue frames (the loop node).
+	head *CFGNode
+}
+
+// BuildCFG constructs the CFG for one function body. Nested function
+// literals are opaque single statements here; they get their own CFGs
+// via the call graph.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{nonBlockingComm: map[ast.Stmt]bool{}}}
+	b.cfg.Entry = b.newNode(nil)
+	b.cfg.Exit = b.newNode(nil)
+	exits := b.stmtList(body.List, []*CFGNode{b.cfg.Entry})
+	b.connect(exits, b.cfg.Exit)
+	return b.cfg
+}
+
+func (b *cfgBuilder) newNode(s ast.Stmt) *CFGNode {
+	n := &CFGNode{Stmt: s}
+	b.cfg.Nodes = append(b.cfg.Nodes, n)
+	return n
+}
+
+func (b *cfgBuilder) connect(preds []*CFGNode, succ *CFGNode) {
+	for _, p := range preds {
+		p.Succs = append(p.Succs, succ)
+		succ.Preds = append(succ.Preds, p)
+	}
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt, preds []*CFGNode) []*CFGNode {
+	for _, s := range list {
+		preds = b.stmt(s, preds)
+	}
+	return preds
+}
+
+// stmt wires s after preds and returns the dangling exits that fall
+// through to the next statement. An empty return slice means control
+// never falls through (return, break, infinite loop, ...).
+func (b *cfgBuilder) stmt(s ast.Stmt, preds []*CFGNode) []*CFGNode {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmtList(s.List, preds)
+
+	case *ast.LabeledStmt:
+		return b.labeled(s, preds)
+
+	case *ast.ReturnStmt:
+		n := b.newNode(s)
+		b.connect(preds, n)
+		b.connect([]*CFGNode{n}, b.cfg.Exit)
+		return nil
+
+	case *ast.BranchStmt:
+		return b.branch(s, "", preds)
+
+	case *ast.IfStmt:
+		n := b.newNode(s)
+		b.connect(preds, n)
+		thenExits := b.stmtList(s.Body.List, []*CFGNode{n})
+		if s.Else != nil {
+			return append(thenExits, b.stmt(s.Else, []*CFGNode{n})...)
+		}
+		return append(thenExits, n)
+
+	case *ast.ForStmt:
+		return b.loop(s, "", preds, s.Cond != nil)
+
+	case *ast.RangeStmt:
+		// A range over an empty collection falls through immediately.
+		return b.loop(s, "", preds, true)
+
+	case *ast.SwitchStmt:
+		return b.switchLike(s, "", s.Body, preds)
+	case *ast.TypeSwitchStmt:
+		return b.switchLike(s, "", s.Body, preds)
+
+	case *ast.SelectStmt:
+		return b.selectStmt(s, "", preds)
+
+	case *ast.DeferStmt:
+		n := b.newNode(s)
+		b.connect(preds, n)
+		b.cfg.Deferred = append(b.cfg.Deferred, s.Call)
+		return []*CFGNode{n}
+
+	case *ast.ExprStmt:
+		n := b.newNode(s)
+		b.connect(preds, n)
+		if isTerminatingCall(s.X) {
+			b.connect([]*CFGNode{n}, b.cfg.Exit)
+			return nil
+		}
+		return []*CFGNode{n}
+
+	default:
+		// Go, assign, incdec, send, decl, empty: straight-line.
+		n := b.newNode(s)
+		b.connect(preds, n)
+		return []*CFGNode{n}
+	}
+}
+
+// labeled registers the label so labeled break/continue resolve, then
+// builds the inner statement.
+func (b *cfgBuilder) labeled(s *ast.LabeledStmt, preds []*CFGNode) []*CFGNode {
+	label := s.Label.Name
+	switch inner := s.Stmt.(type) {
+	case *ast.ForStmt:
+		return b.loop(inner, label, preds, inner.Cond != nil)
+	case *ast.RangeStmt:
+		return b.loop(inner, label, preds, true)
+	case *ast.SwitchStmt:
+		return b.switchLike(inner, label, inner.Body, preds)
+	case *ast.TypeSwitchStmt:
+		return b.switchLike(inner, label, inner.Body, preds)
+	case *ast.SelectStmt:
+		return b.selectStmt(inner, label, preds)
+	default:
+		// Plain labeled statement (goto target). goto itself is
+		// handled conservatively in branch().
+		return b.stmt(s.Stmt, preds)
+	}
+}
+
+// branch handles break/continue/goto/fallthrough. Fallthrough is wired
+// by switchLike; goto is treated conservatively as an exit edge (the
+// repo style avoids goto, and an extra path to Exit only widens
+// may-analyses).
+func (b *cfgBuilder) branch(s *ast.BranchStmt, _ string, preds []*CFGNode) []*CFGNode {
+	n := b.newNode(s)
+	b.connect(preds, n)
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if f := topFrame(b.breaks, label); f != nil {
+			f.nodes = append(f.nodes, n)
+			return nil
+		}
+	case token.CONTINUE:
+		if f := topFrame(b.continues, label); f != nil {
+			b.connect([]*CFGNode{n}, f.head)
+			return nil
+		}
+	case token.FALLTHROUGH:
+		// Resolved by switchLike; fall through to the next clause.
+		return []*CFGNode{n}
+	}
+	// goto, or an unresolved label: conservatively reach Exit.
+	b.connect([]*CFGNode{n}, b.cfg.Exit)
+	return nil
+}
+
+func topFrame(frames []*patchFrame, label string) *patchFrame {
+	for i := len(frames) - 1; i >= 0; i-- {
+		if label == "" || frames[i].label == label {
+			return frames[i]
+		}
+	}
+	return nil
+}
+
+// loop builds for/range. head is the loop node (init+cond+post folded
+// in); condMayFail adds the head→after fall-through edge.
+func (b *cfgBuilder) loop(s ast.Stmt, label string, preds []*CFGNode, condMayFail bool) []*CFGNode {
+	head := b.newNode(s)
+	b.connect(preds, head)
+	brk := &patchFrame{label: label}
+	cnt := &patchFrame{label: label, head: head}
+	b.breaks = append(b.breaks, brk)
+	b.continues = append(b.continues, cnt)
+	var body []ast.Stmt
+	switch s := s.(type) {
+	case *ast.ForStmt:
+		body = s.Body.List
+	case *ast.RangeStmt:
+		body = s.Body.List
+	}
+	bodyExits := b.stmtList(body, []*CFGNode{head})
+	b.connect(bodyExits, head)
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+	after := brk.nodes
+	if condMayFail {
+		after = append(after, head)
+	}
+	return after
+}
+
+// switchLike builds switch/type-switch: the head evaluates init+tag,
+// each case clause body is a successor, and a missing default adds a
+// head→after edge. Fallthrough connects a clause's last statement to
+// the next clause's body.
+func (b *cfgBuilder) switchLike(s ast.Stmt, label string, body *ast.BlockStmt, preds []*CFGNode) []*CFGNode {
+	head := b.newNode(s)
+	b.connect(preds, head)
+	brk := &patchFrame{label: label}
+	b.breaks = append(b.breaks, brk)
+
+	hasDefault := false
+	var exits []*CFGNode
+	var fallPreds []*CFGNode // from a fallthrough in the previous clause
+	for _, c := range body.List {
+		clause, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if clause.List == nil {
+			hasDefault = true
+		}
+		entry := append([]*CFGNode{head}, fallPreds...)
+		fallPreds = nil
+		clauseExits := b.stmtList(clause.Body, entry)
+		if n := len(clause.Body); n > 0 {
+			if br, ok := clause.Body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallPreds = clauseExits
+				continue
+			}
+		}
+		exits = append(exits, clauseExits...)
+	}
+	exits = append(exits, fallPreds...) // fallthrough in the last clause
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	exits = append(exits, brk.nodes...)
+	if !hasDefault {
+		exits = append(exits, head)
+	}
+	return exits
+}
+
+// selectStmt builds select: the head is the blocking decision point,
+// each comm statement is its own node (marked non-blocking when a
+// default clause exists), followed by its clause body.
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt, label string, preds []*CFGNode) []*CFGNode {
+	head := b.newNode(s)
+	b.connect(preds, head)
+	brk := &patchFrame{label: label}
+	b.breaks = append(b.breaks, brk)
+
+	hasDefault := false
+	for _, c := range s.Body.List {
+		if clause, ok := c.(*ast.CommClause); ok && clause.Comm == nil {
+			hasDefault = true
+		}
+	}
+	var exits []*CFGNode
+	for _, c := range s.Body.List {
+		clause, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		entry := []*CFGNode{head}
+		if clause.Comm != nil {
+			comm := b.newNode(clause.Comm)
+			b.connect(entry, comm)
+			entry = []*CFGNode{comm}
+			if hasDefault {
+				b.cfg.nonBlockingComm[clause.Comm] = true
+			}
+		}
+		exits = append(exits, b.stmtList(clause.Body, entry)...)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	exits = append(exits, brk.nodes...)
+	if len(s.Body.List) == 0 {
+		// select {} blocks forever: no fall-through.
+		return brk.nodes
+	}
+	return exits
+}
+
+// ShallowInspect visits the AST evaluated by s's own CFG node: branch
+// heads contribute only their init/condition expressions (their
+// bodies are separate CFG nodes), select heads contribute nothing
+// (comm statements are separate nodes), and defer/go statements
+// contribute nothing (deferred calls surface via CFG.Deferred;
+// goroutine bodies are separate call-graph nodes). Nested function
+// literals are never descended into.
+func ShallowInspect(s ast.Stmt, fn func(ast.Node) bool) {
+	for _, root := range shallowRoots(s) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			return fn(n)
+		})
+	}
+}
+
+func shallowRoots(s ast.Stmt) []ast.Node {
+	var out []ast.Node
+	add := func(n ast.Node) { out = append(out, n) }
+	switch s := s.(type) {
+	case *ast.IfStmt:
+		if s.Init != nil {
+			add(s.Init)
+		}
+		add(s.Cond)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			add(s.Init)
+		}
+		if s.Cond != nil {
+			add(s.Cond)
+		}
+		if s.Post != nil {
+			add(s.Post)
+		}
+	case *ast.RangeStmt:
+		add(s.X)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			add(s.Init)
+		}
+		if s.Tag != nil {
+			add(s.Tag)
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			add(s.Init)
+		}
+		add(s.Assign)
+	case *ast.SelectStmt, *ast.DeferStmt, *ast.GoStmt:
+		// Nothing: clause bodies / deferred calls / goroutine bodies
+		// are represented elsewhere.
+	case *ast.LabeledStmt:
+		return shallowRoots(s.Stmt)
+	case *ast.BlockStmt:
+		// Never a CFG node; defensive.
+	default:
+		add(s)
+	}
+	return out
+}
+
+// isTerminatingCall reports whether e is a call that never returns
+// (panic, os.Exit). Used so statements after it are not considered
+// fall-through successors.
+func isTerminatingCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		if x, ok := fun.X.(*ast.Ident); ok {
+			return x.Name == "os" && fun.Sel.Name == "Exit"
+		}
+	}
+	return false
+}
+
+// ForwardReach returns the nodes reachable from start without passing
+// through a node for which barrier returns true (start itself is
+// included even if it is a barrier; traversal just does not continue
+// through barriers).
+func (c *CFG) ForwardReach(start *CFGNode, barrier func(*CFGNode) bool) map[*CFGNode]bool {
+	return reach(start, barrier, func(n *CFGNode) []*CFGNode { return n.Succs })
+}
+
+// BackwardReach returns the nodes that can reach target without
+// passing through a barrier node.
+func (c *CFG) BackwardReach(target *CFGNode, barrier func(*CFGNode) bool) map[*CFGNode]bool {
+	return reach(target, barrier, func(n *CFGNode) []*CFGNode { return n.Preds })
+}
+
+func reach(start *CFGNode, barrier func(*CFGNode) bool, next func(*CFGNode) []*CFGNode) map[*CFGNode]bool {
+	seen := map[*CFGNode]bool{start: true}
+	stack := []*CFGNode{start}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if barrier != nil && barrier(n) && n != start {
+			continue
+		}
+		for _, s := range next(n) {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}

@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// parseSrc loads a source string as a fixture package through the
+// golden harness's loader.
+func parseSrc(t *testing.T, src string) *Package {
+	t.Helper()
+	file := filepath.Join(t.TempDir(), "src.go")
+	if err := os.WriteFile(file, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, _ := loadFixture(t, file)
+	return pkg
+}
+
+// funcCFG builds the CFG of the named declared function.
+func funcCFG(t *testing.T, pkg *Package, name string) *CFG {
+	t.Helper()
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name && fd.Body != nil {
+				return BuildCFG(fd.Body)
+			}
+		}
+	}
+	t.Fatalf("function %s not found", name)
+	return nil
+}
+
+// callNode finds the unique CFG node whose own statement calls the
+// named function (shallowly, so branch bodies don't leak into heads).
+func callNode(t *testing.T, cfg *CFG, name string) *CFGNode {
+	t.Helper()
+	var found *CFGNode
+	for _, n := range cfg.Nodes {
+		if n.Stmt == nil {
+			continue
+		}
+		ShallowInspect(n.Stmt, func(node ast.Node) bool {
+			if call, ok := node.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+					found = n
+				}
+			}
+			return true
+		})
+		if found == n {
+			return n
+		}
+	}
+	t.Fatalf("no CFG node calls %s", name)
+	return nil
+}
+
+const cfgSrc = `package p
+
+func start()   {}
+func then_()   {}
+func else_()   {}
+func end()     {}
+func pre()     {}
+func body()    {}
+func post()    {}
+func cleanup() {}
+
+func Branch(c bool) {
+	start()
+	if c {
+		then_()
+	} else {
+		else_()
+	}
+	end()
+}
+
+func Loop(n int) {
+	pre()
+	for i := 0; i < n; i++ {
+		body()
+	}
+	post()
+}
+
+func Deferred() {
+	defer cleanup()
+	body()
+}
+`
+
+// TestCFGBranchPaths: each arm of an if/else is its own node and its
+// own path — blocking one arm leaves the join reachable, blocking
+// both cuts it off.
+func TestCFGBranchPaths(t *testing.T) {
+	pkg := parseSrc(t, cfgSrc)
+	cfg := funcCFG(t, pkg, "Branch")
+	thenN := callNode(t, cfg, "then_")
+	elseN := callNode(t, cfg, "else_")
+	endN := callNode(t, cfg, "end")
+
+	all := cfg.ForwardReach(cfg.Entry, nil)
+	for _, n := range []*CFGNode{thenN, elseN, endN, cfg.Exit} {
+		if !all[n] {
+			t.Fatal("entry must reach both arms, the join, and exit")
+		}
+	}
+	oneArm := cfg.ForwardReach(cfg.Entry, func(n *CFGNode) bool { return n == thenN })
+	if !oneArm[endN] {
+		t.Fatal("join must stay reachable through the else arm")
+	}
+	bothArms := cfg.ForwardReach(cfg.Entry, func(n *CFGNode) bool { return n == thenN || n == elseN })
+	if bothArms[endN] {
+		t.Fatal("blocking both arms must cut off the join")
+	}
+}
+
+// TestCFGLoop: the loop body loops back to the head, and the
+// statement after the loop is reachable without entering the body
+// (zero iterations).
+func TestCFGLoop(t *testing.T) {
+	pkg := parseSrc(t, cfgSrc)
+	cfg := funcCFG(t, pkg, "Loop")
+	bodyN := callNode(t, cfg, "body")
+	postN := callNode(t, cfg, "post")
+
+	var headN *CFGNode
+	for _, n := range cfg.Nodes {
+		if _, ok := n.Stmt.(*ast.ForStmt); ok {
+			headN = n
+		}
+	}
+	if headN == nil {
+		t.Fatal("for head has no CFG node")
+	}
+	if !cfg.ForwardReach(bodyN, nil)[headN] {
+		t.Fatal("loop body must loop back to the head")
+	}
+	zeroIter := cfg.ForwardReach(cfg.Entry, func(n *CFGNode) bool { return n == bodyN })
+	if !zeroIter[postN] {
+		t.Fatal("post-loop statement must be reachable without entering the body")
+	}
+}
+
+// TestCFGDeferred: deferred calls are collected for at-exit effects,
+// not threaded into the statement flow.
+func TestCFGDeferred(t *testing.T) {
+	pkg := parseSrc(t, cfgSrc)
+	cfg := funcCFG(t, pkg, "Deferred")
+	if len(cfg.Deferred) != 1 {
+		t.Fatalf("Deferred = %d calls, want 1", len(cfg.Deferred))
+	}
+	if id, ok := cfg.Deferred[0].Fun.(*ast.Ident); !ok || id.Name != "cleanup" {
+		t.Fatalf("deferred call is %v, want cleanup", cfg.Deferred[0].Fun)
+	}
+	for _, n := range cfg.Nodes {
+		if _, ok := n.Stmt.(*ast.DeferStmt); ok && len(n.Succs) == 0 {
+			t.Fatal("the defer statement node must stay in the linear flow")
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Function-level directives recognized by the dataflow tier:
+//
+//	//hunipulint:hotpath [reason]   — marks an allocation-sensitive
+//	    root; everything reachable from it is scanned by hotalloc.
+//	//hunipulint:work reason        — the function performs modeled
+//	    device work that must be charged (reason mandatory).
+//	//hunipulint:charges reason     — the function charges the cycle
+//	    model in a way cyclecharge cannot see syntactically (reason
+//	    mandatory, so hand-waved accounting stays auditable).
+//
+// A directive applies to the function whose declaration starts on the
+// next line (doc comments count: any directive line within the doc
+// block attaches to the declaration below it).
+const (
+	hotpathDirective = "//hunipulint:hotpath"
+	workDirective    = "//hunipulint:work"
+	chargesDirective = "//hunipulint:charges"
+)
+
+// buildDirectives indexes function directives by file and line.
+func (pkg *Package) buildDirectives() {
+	if pkg.directives != nil {
+		return
+	}
+	pkg.directives = map[string]map[int][]string{}
+	record := func(c *ast.Comment, name string) {
+		pos := pkg.Fset.Position(c.Pos())
+		byLine := pkg.directives[pos.Filename]
+		if byLine == nil {
+			byLine = map[int][]string{}
+			pkg.directives[pos.Filename] = byLine
+		}
+		byLine[pos.Line] = append(byLine[pos.Line], name)
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				switch {
+				case strings.HasPrefix(c.Text, hotpathDirective):
+					record(c, "hotpath")
+				case strings.HasPrefix(c.Text, workDirective):
+					if len(strings.Fields(strings.TrimPrefix(c.Text, workDirective))) > 0 {
+						record(c, "work")
+					}
+				case strings.HasPrefix(c.Text, chargesDirective):
+					if len(strings.Fields(strings.TrimPrefix(c.Text, chargesDirective))) > 0 {
+						record(c, "charges")
+					}
+				}
+			}
+		}
+	}
+}
+
+// HasDirective reports whether fn carries the named directive: on any
+// line of its doc comment, or on the line directly above the func
+// keyword (the form used for function literals).
+func (fn *FuncNode) HasDirective(name string) bool {
+	pkg := fn.Pkg
+	pkg.buildDirectives()
+	var node ast.Node
+	if fn.Decl != nil {
+		node = fn.Decl
+		if fn.Decl.Doc != nil {
+			for _, c := range fn.Decl.Doc.List {
+				pos := pkg.Fset.Position(c.Pos())
+				if hasAt(pkg, pos.Filename, pos.Line, name) {
+					return true
+				}
+			}
+		}
+	} else {
+		node = fn.Lit
+	}
+	pos := pkg.Fset.Position(node.Pos())
+	return hasAt(pkg, pos.Filename, pos.Line-1, name)
+}
+
+func hasAt(pkg *Package, file string, line int, name string) bool {
+	for _, d := range pkg.directives[file][line] {
+		if d == name {
+			return true
+		}
+	}
+	return false
+}

@@ -47,7 +47,28 @@ func checkErrCompare(p *Pass, be *ast.BinaryExpr) {
 	if isErrorType(x.Type) || isErrorType(y.Type) {
 		p.Reportf(be.OpPos,
 			"error compared with %s; use errors.Is so wrapped errors still match", be.Op)
+		return
 	}
+	// Comparing concrete typed-error values (*shard.FabricError,
+	// *faultinject.CorruptionError, ...) with == is pointer identity,
+	// not fault-class equality: two distinct allocations of the same
+	// fault compare unequal, and a wrapped instance never matches.
+	if isConcreteErrorType(x.Type) || isConcreteErrorType(y.Type) {
+		p.Reportf(be.OpPos,
+			"typed error value compared with %s (pointer identity); use errors.Is or compare the fault class fields", be.Op)
+	}
+}
+
+// isConcreteErrorType reports whether t is a non-interface type that
+// implements error (typically a *SomethingError).
+func isConcreteErrorType(t types.Type) bool {
+	if t == nil || isErrorType(t) {
+		return false
+	}
+	if _, isIface := t.Underlying().(*types.Interface); isIface {
+		return false
+	}
+	return implementsError(t)
 }
 
 // checkErrorfWrap flags fmt.Errorf calls that receive an error

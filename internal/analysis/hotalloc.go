@@ -1,0 +1,319 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// HotAlloc turns ROADMAP item 2 (the ~440k allocations per warm
+// n=64 solve) into an enforced ratchet: every function reachable from
+// a //hunipulint:hotpath-annotated root — through direct calls,
+// method values, and closures it creates — is scanned for the three
+// allocation patterns that dominate the warm-path profile:
+//
+//   - composite literals and make() of maps/slices/channels that
+//     allocate on every execution (hoist or reuse across supersteps);
+//   - append into a slice declared without capacity (preallocate);
+//   - closures that capture enclosing variables (each capture
+//     escapes to the heap when the closure does).
+//
+// Findings are expected to be ratcheted via the committed baseline:
+// existing churn is frozen, new churn on a hot path fails CI.
+var HotAlloc = &Analyzer{
+	Name:       "hotalloc",
+	Doc:        "allocation churn in functions reachable from //hunipulint:hotpath roots",
+	RunProgram: runHotAlloc,
+}
+
+func runHotAlloc(p *ProgramPass) {
+	cg := p.Prog.CG
+
+	// Collect roots and their reachable set. Call, ref and closure
+	// edges all propagate heat: a method value or closure created on
+	// a hot path usually runs on it.
+	hot := map[*FuncNode]bool{}
+	var queue []*FuncNode
+	for _, f := range cg.Funcs {
+		if f.HasDirective("hotpath") {
+			hot[f] = true
+			queue = append(queue, f)
+		}
+	}
+	for len(queue) > 0 {
+		f := queue[0]
+		queue = queue[1:]
+		for _, e := range cg.Out[f] {
+			if !hot[e.Callee] {
+				hot[e.Callee] = true
+				queue = append(queue, e.Callee)
+			}
+		}
+	}
+
+	funcs := make([]*FuncNode, 0, len(hot))
+	for f := range hot {
+		funcs = append(funcs, f)
+	}
+	sort.Slice(funcs, func(i, j int) bool { return funcs[i].Name < funcs[j].Name })
+	for _, f := range funcs {
+		checkHotFunc(p, f)
+	}
+}
+
+// checkHotFunc scans one hot function's own body (nested literals are
+// their own hot nodes).
+func checkHotFunc(p *ProgramPass, f *FuncNode) {
+	info := f.Pkg.Info
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if caps := captured(info, n); len(caps) > 0 {
+				p.ReportNodef(f.Pkg, n,
+					"hot path %s: closure captures %s (each capture escapes when the closure does); hoist the closure or pass values as parameters",
+					f.Name, joinNames(caps))
+			}
+			return false
+		case *ast.CompositeLit:
+			t := info.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				p.ReportNodef(f.Pkg, n,
+					"hot path %s: map literal allocates on every execution; hoist it out of the hot path or reuse a cleared map", f.Name)
+			case *types.Slice:
+				p.ReportNodef(f.Pkg, n,
+					"hot path %s: slice literal allocates on every execution; hoist it or reuse a preallocated buffer", f.Name)
+			}
+			// Struct literals stay on the stack unless they escape;
+			// the escaping case is caught where the pointer is made.
+			return true
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if cl, ok := n.X.(*ast.CompositeLit); ok {
+					p.ReportNodef(f.Pkg, n,
+						"hot path %s: &%s{...} escapes to the heap on every execution; reuse a preallocated value", f.Name, typeLabel(info, cl))
+					// Still scan the literal's elements for nested maps.
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok {
+					switch b.Name() {
+					case "make":
+						reportHotMake(p, f, n)
+					case "append":
+						reportHotAppend(p, f, n)
+					}
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(f.Body, walk)
+}
+
+// reportHotMake flags map/chan makes and slice makes without capacity.
+func reportHotMake(p *ProgramPass, f *FuncNode, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	t := f.Pkg.Info.TypeOf(call)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Map:
+		p.ReportNodef(f.Pkg, call,
+			"hot path %s: make(map) allocates on every execution; hoist it or reuse a cleared map", f.Name)
+	case *types.Chan:
+		p.ReportNodef(f.Pkg, call,
+			"hot path %s: make(chan) allocates on every execution; hoist channel construction off the hot path", f.Name)
+	case *types.Slice:
+		// Only make([]T, 0) with no capacity is churn: it regrows on
+		// the first append. make([]T, n) is exactly sized; appending
+		// past it is the append rule's concern, not this one's.
+		if len(call.Args) < 3 && zeroConstArg(f, call, 1) {
+			p.ReportNodef(f.Pkg, call,
+				"hot path %s: make of a slice without capacity allocates and regrows; size it with an explicit length or capacity", f.Name)
+		}
+	}
+}
+
+// reportHotAppend flags append into a slice whose visible declaration
+// has no preallocated capacity.
+func reportHotAppend(p *ProgramPass, f *FuncNode, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	id, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := f.Pkg.Info.Uses[id]
+	if obj == nil {
+		return
+	}
+	decl := declExprOf(f, obj)
+	flag := false
+	switch d := decl.(type) {
+	case nil:
+		// Parameter, field, or out-of-function declaration: unknown,
+		// give the benefit of the doubt.
+	case *ast.BadExpr:
+		flag = true // `var x []T`: nil slice, every append regrows
+	case *ast.CompositeLit:
+		flag = true // []T{...} carries no spare capacity
+	case *ast.CallExpr:
+		// make without capacity regrows; reslicing or any other
+		// constructor (scratch buffers, pools) is the recommended
+		// reuse pattern and stays clean.
+		if mid, ok := d.Fun.(*ast.Ident); ok && mid.Name == "make" {
+			flag = len(d.Args) < 3 && !nonZeroConstArg(f, d, 1)
+		}
+	}
+	if flag {
+		p.ReportNodef(f.Pkg, call,
+			"hot path %s: append to %s, declared without preallocated capacity; make it with capacity up front", f.Name, id.Name)
+	}
+}
+
+// declExprOf finds the initializer expression of obj inside f's body
+// (var x []T → nil initializer; x := expr → expr).
+func declExprOf(f *FuncNode, obj types.Object) ast.Expr {
+	var init ast.Expr
+	found := false
+	ast.Inspect(f.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && f.Pkg.Info.Defs[id] == obj {
+					found = true
+					if i < len(n.Rhs) {
+						init = n.Rhs[i]
+					} else if len(n.Rhs) == 1 {
+						init = n.Rhs[0]
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if f.Pkg.Info.Defs[name] == obj {
+					found = true
+					if i < len(n.Values) {
+						init = n.Values[i]
+					}
+				}
+			}
+		}
+		return true
+	})
+	if !found {
+		return nil
+	}
+	if init == nil {
+		// `var x []T`: declared, nil capacity. Return a marker that is
+		// not a make-with-capacity so the caller reports it.
+		return &ast.BadExpr{}
+	}
+	return init
+}
+
+// zeroConstArg reports whether call.Args[i] is the constant 0.
+func zeroConstArg(f *FuncNode, call *ast.CallExpr, i int) bool {
+	if i >= len(call.Args) {
+		return false
+	}
+	tv, ok := f.Pkg.Info.Types[call.Args[i]]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return tv.Value.String() == "0"
+}
+
+// nonZeroConstArg reports whether call.Args[i] is a constant > 0.
+func nonZeroConstArg(f *FuncNode, call *ast.CallExpr, i int) bool {
+	if i >= len(call.Args) {
+		return false
+	}
+	tv, ok := f.Pkg.Info.Types[call.Args[i]]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return tv.Value.String() != "0"
+}
+
+// captured lists the distinct enclosing-scope variables a literal
+// reads or writes (parameters and locals of the literal excluded).
+func captured(info *types.Info, lit *ast.FuncLit) []string {
+	inside := map[types.Object]bool{}
+	ast.Inspect(lit, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				inside[obj] = true
+			}
+		}
+		return true
+	})
+	seen := map[string]bool{}
+	var out []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() || inside[obj] || seen[obj.Name()] {
+			return true
+		}
+		// Package-level vars are not captures.
+		if obj.Parent() != nil && obj.Parent().Parent() == types.Universe {
+			return true
+		}
+		if litContains(lit, obj.Pos()) {
+			return true
+		}
+		seen[obj.Name()] = true
+		out = append(out, obj.Name())
+		return true
+	})
+	sort.Strings(out)
+	return out
+}
+
+// litContains reports whether pos falls inside the literal (locals
+// declared by := inside the body define objects there).
+func litContains(lit *ast.FuncLit, pos token.Pos) bool {
+	return pos >= lit.Pos() && pos <= lit.End()
+}
+
+// typeLabel renders a composite literal's type for messages.
+func typeLabel(info *types.Info, cl *ast.CompositeLit) string {
+	t := info.TypeOf(cl)
+	if t == nil {
+		return "?"
+	}
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}
+
+// joinNames joins capture names for the message.
+func joinNames(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// SARIF 2.1.0 output, the minimal subset GitHub code scanning and
+// other SARIF consumers need: one run, one rule per analyzer, one
+// result per finding with a physical location region. The same
+// structs parse SARIF back (ParseSARIF) so the round-trip is tested.
+
+const (
+	sarifVersion = "2.1.0"
+	sarifSchema  = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string          `json:"id"`
+	ShortDescription sarifMessageRef `json:"shortDescription"`
+}
+
+type sarifMessageRef struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessageRef `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+	EndLine     int `json:"endLine,omitempty"`
+}
+
+// WriteSARIF renders findings as a SARIF 2.1.0 log. analyzers supply
+// the rule table; every finding's check must be a known analyzer (or
+// it gets a bare rule entry).
+func WriteSARIF(w io.Writer, findings []Finding, analyzers []*Analyzer) error {
+	docs := map[string]string{}
+	for _, a := range analyzers {
+		docs[a.Name] = a.Doc
+	}
+	ruleSet := map[string]bool{}
+	for _, a := range analyzers {
+		ruleSet[a.Name] = true
+	}
+	for _, f := range findings {
+		ruleSet[f.Check] = true
+	}
+	ruleIDs := make([]string, 0, len(ruleSet))
+	for id := range ruleSet {
+		ruleIDs = append(ruleIDs, id)
+	}
+	sort.Strings(ruleIDs)
+	rules := make([]sarifRule, 0, len(ruleIDs))
+	for _, id := range ruleIDs {
+		rules = append(rules, sarifRule{ID: id, ShortDescription: sarifMessageRef{Text: docs[id]}})
+	}
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		results = append(results, sarifResult{
+			RuleID:  f.Check,
+			Level:   "error",
+			Message: sarifMessageRef{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: f.File},
+					Region: sarifRegion{
+						StartLine:   f.Line,
+						StartColumn: f.Col,
+						EndLine:     f.EndLine,
+					},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  sarifSchema,
+		Version: sarifVersion,
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "hunipulint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// ParseSARIF reads a SARIF log back into findings (the round-trip
+// used by tests and external tooling that post-processes the
+// artifact).
+func ParseSARIF(r io.Reader) ([]Finding, error) {
+	var log sarifLog
+	if err := json.NewDecoder(r).Decode(&log); err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, run := range log.Runs {
+		for _, res := range run.Results {
+			f := Finding{Check: res.RuleID, Message: res.Message.Text}
+			if len(res.Locations) > 0 {
+				loc := res.Locations[0].PhysicalLocation
+				f.File = loc.ArtifactLocation.URI
+				f.Line = loc.Region.StartLine
+				f.Col = loc.Region.StartColumn
+				f.EndLine = loc.Region.EndLine
+			}
+			findings = append(findings, f)
+		}
+	}
+	return findings, nil
+}

@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestSARIFRoundTrip: WriteSARIF → ParseSARIF preserves every finding
+// field the region can carry.
+func TestSARIFRoundTrip(t *testing.T) {
+	in := []Finding{
+		{File: "internal/a/a.go", Line: 10, Col: 3, EndLine: 12, Check: "cyclecharge", Message: "uncharged work"},
+		{File: "internal/b/b.go", Line: 4, Col: 1, EndLine: 4, Check: "hotalloc", Message: "map literal"},
+	}
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, in, Analyzers()); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseSARIF(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round-trip lost findings: %d → %d", len(in), len(out))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("finding %d changed in round-trip:\n in: %+v\nout: %+v", i, in[i], out[i])
+		}
+	}
+}
+
+// TestSARIFStructure: version 2.1.0, one run, and a sorted rule table
+// covering every analyzer plus any unknown check in the findings.
+func TestSARIFStructure(t *testing.T) {
+	var buf bytes.Buffer
+	findings := []Finding{{File: "x.go", Line: 1, Check: "customcheck", Message: "m"}}
+	if err := WriteSARIF(&buf, findings, Analyzers()); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []json.RawMessage `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatal(err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version %q, %d runs; want 2.1.0 and one run", log.Version, len(log.Runs))
+	}
+	driver := log.Runs[0].Tool.Driver
+	if driver.Name != "hunipulint" {
+		t.Fatalf("driver name %q", driver.Name)
+	}
+	ids := map[string]bool{}
+	for i, r := range driver.Rules {
+		ids[r.ID] = true
+		if i > 0 && driver.Rules[i-1].ID >= r.ID {
+			t.Fatalf("rule table not sorted: %q before %q", driver.Rules[i-1].ID, r.ID)
+		}
+	}
+	for _, a := range Analyzers() {
+		if !ids[a.Name] {
+			t.Fatalf("rule table missing analyzer %s", a.Name)
+		}
+	}
+	if !ids["customcheck"] {
+		t.Fatal("rule table must include checks only seen in findings")
+	}
+	if len(log.Runs[0].Results) != 1 {
+		t.Fatalf("want 1 result, got %d", len(log.Runs[0].Results))
+	}
+}
+
+// TestSARIFEmptyFindings: a clean run still produces a valid log with
+// an empty (non-null) results array.
+func TestSARIFEmptyFindings(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, nil, Analyzers()); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte(`"results": null`)) {
+		t.Fatal("results must be [] when there are no findings, not null")
+	}
+	out, err := ParseSARIF(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("parsed %d findings from an empty log", len(out))
+	}
+}

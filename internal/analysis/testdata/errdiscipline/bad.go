@@ -23,6 +23,24 @@ func Sever() error {
 	return fmt.Errorf("solve failed: %v", err) // want "without %w"
 }
 
+// SeverString is just as broken with %s: the verb changes nothing
+// about the severed chain.
+func SeverString() error {
+	err := work()
+	return fmt.Errorf("solve failed: %s", err) // want "without %w"
+}
+
+// FabricError mirrors the shard fault class: a concrete typed error.
+type FabricError struct{ Device int }
+
+func (e *FabricError) Error() string { return "fabric fault" }
+
+// SameFault compares typed error values with ==: pointer identity,
+// so two allocations of the same fault class never match.
+func SameFault(a, b *FabricError) bool {
+	return a == b // want "typed error value compared with =="
+}
+
 // Drop discards the only return value, an error.
 func Drop() {
 	work() // want "error that is discarded"

@@ -31,3 +31,18 @@ func Render() string {
 	b.WriteByte(']')
 	return b.String()
 }
+
+// FabricError mirrors the shard fault class: a concrete typed error.
+type FabricError struct{ Device int }
+
+func (e *FabricError) Error() string { return "fabric fault" }
+
+// SameFault matches fault classes with errors.As and field
+// comparison; nil checks on typed errors stay allowed.
+func SameFault(err error, dev int) bool {
+	var fe *FabricError
+	if !errors.As(err, &fe) || fe == nil {
+		return false
+	}
+	return fe.Device == dev
+}

@@ -1,0 +1,71 @@
+// Package fixture exercises hotalloc violations: allocation churn in
+// functions reachable from //hunipulint:hotpath roots.
+//
+//hunipulint:path hunipu/internal/core/fixture
+package fixture
+
+// Step is a hot kernel root: per-execution map and slice churn below
+// it is flagged, including in its (transitively reached) helpers.
+//
+//hunipulint:hotpath
+func Step(n int, rows []int) []int {
+	tile := map[int]int64{} // want "map literal allocates on every execution"
+	for i := 0; i < n; i++ {
+		tile[i] = int64(rows[i])
+	}
+	return gather(n, rows)
+}
+
+// gather is reached from Step, so its nil-slice append churn counts.
+func gather(n int, rows []int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, rows[i]) // want "append to out, declared without preallocated capacity"
+	}
+	return out
+}
+
+// Scan builds a capturing closure on the hot path.
+//
+//hunipulint:hotpath
+func Scan(n int, cost func(int) int64) int64 {
+	var total int64
+	add := func(i int) { // want "closure captures cost, total"
+		total += cost(i)
+	}
+	for i := 0; i < n; i++ {
+		add(i)
+	}
+	return total
+}
+
+// Flatten makes a slice with no capacity and regrows it.
+//
+//hunipulint:hotpath
+func Flatten(rows [][]int) []int {
+	out := make([]int, 0) // want "make of a slice without capacity"
+	for _, r := range rows {
+		out = append(out, r...) // want "append to out, declared without preallocated capacity"
+	}
+	return out
+}
+
+type result struct{ rows []int }
+
+// Snapshot heap-allocates a result per call.
+//
+//hunipulint:hotpath
+func Snapshot(rows []int) *result {
+	return &result{rows: rows} // want "escapes to the heap on every execution"
+}
+
+// Exchange allocates a channel per call.
+//
+//hunipulint:hotpath
+func Exchange(n int) int64 {
+	done := make(chan int64, 1) // want "make\(chan\) allocates on every execution"
+	go func() {                 // want "closure captures done, n"
+		done <- int64(n)
+	}()
+	return <-done
+}

@@ -1,0 +1,49 @@
+// Package fixture exercises the clean hotalloc shapes: preallocated
+// capacity, reused scratch buffers, parameter-passing instead of
+// capture, and cold-path allocations outside the hot set.
+//
+//hunipulint:path hunipu/internal/core/fixture
+package fixture
+
+// Gather preallocates its result once.
+//
+//hunipulint:hotpath
+func Gather(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// Flatten reuses a caller-provided scratch buffer (the recommended
+// fix for per-step churn).
+//
+//hunipulint:hotpath
+func Flatten(rows [][]int, scratch []int) []int {
+	out := scratch[:0]
+	for _, r := range rows {
+		out = append(out, r...)
+	}
+	return out
+}
+
+// Scan passes state as parameters instead of capturing it.
+//
+//hunipulint:hotpath
+func Scan(n int, cost func(int) int64) int64 {
+	var total int64
+	for i := 0; i < n; i++ {
+		total += cost(i)
+	}
+	return total
+}
+
+// Cold allocates freely: it is not reachable from any hotpath root.
+func Cold(n int) map[int]int64 {
+	m := map[int]int64{}
+	for i := 0; i < n; i++ {
+		m[i] = int64(i)
+	}
+	return m
+}

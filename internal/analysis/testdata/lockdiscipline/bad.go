@@ -1,0 +1,94 @@
+// Package fixture exercises lockdiscipline violations: blocking and
+// re-entrant operations under held mutexes, and inconsistent lock
+// acquisition order.
+//
+//hunipulint:path hunipu/internal/serve/fixture
+package fixture
+
+import "sync"
+
+type breaker struct {
+	mu       sync.Mutex
+	state    int
+	onChange func(int)
+}
+
+// Notify fires the stored hook while holding mu: a hook that
+// re-enters the breaker self-deadlocks.
+func (b *breaker) Notify(s int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = s
+	b.onChange(s) // want "indirect call through function value b.onChange"
+}
+
+// fireHook invokes the stored hook; locked callers inherit the
+// hazard through the call-graph summary even though fireHook itself
+// holds nothing.
+func (b *breaker) fireHook(s int) {
+	b.onChange(s)
+}
+
+// Set reaches the stored hook through a helper while holding mu: the
+// re-entrancy hazard is the same as Notify's, one call deeper.
+func (b *breaker) Set(s int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = s
+	b.fireHook(s) // want "call to \(\*breaker\).fireHook \(invokes stored function value b.onChange\) while holding"
+}
+
+type queue struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// Push sends on an unbuffered channel while holding mu.
+func (q *queue) Push(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.ch <- v // want "channel send while holding"
+}
+
+// Pop receives while holding mu.
+func (q *queue) Pop() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return <-q.ch // want "channel receive while holding"
+}
+
+// Drain parks on a WaitGroup under the lock.
+func (q *queue) Drain(wg *sync.WaitGroup) {
+	q.mu.Lock()
+	wg.Wait() // want "sync.WaitGroup.Wait while holding"
+	q.mu.Unlock()
+}
+
+// fill blocks on its own; holding callers inherit the hazard.
+func (q *queue) fill() {
+	q.ch <- 1
+}
+
+// Refill calls a may-block helper while holding mu.
+func (q *queue) Refill() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.fill() // want "call to \(\*queue\).fill .*may block"
+}
+
+type pair struct{ a, b sync.Mutex }
+
+// AB nests a before b; BA nests b before a: a deadlock cycle.
+func (p *pair) AB() {
+	p.a.Lock()
+	p.b.Lock() // want "inconsistent lock order"
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func (p *pair) BA() {
+	p.b.Lock()
+	p.a.Lock()
+	p.a.Unlock()
+	p.b.Unlock()
+}

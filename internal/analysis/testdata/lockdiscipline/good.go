@@ -1,0 +1,71 @@
+// Package fixture exercises the clean lockdiscipline shapes: hooks
+// fired after unlocking, select-with-default polling under a lock,
+// consistent nesting order, and the single-flight unlock-then-wait
+// pattern.
+//
+//hunipulint:path hunipu/internal/serve/fixture
+package fixture
+
+import "sync"
+
+type breaker struct {
+	mu       sync.Mutex
+	state    int
+	onChange func(int)
+}
+
+// Notify snapshots the hook under the lock and fires it after
+// unlocking, so a re-entrant hook cannot deadlock.
+func (b *breaker) Notify(s int) {
+	b.mu.Lock()
+	b.state = s
+	fn := b.onChange
+	b.mu.Unlock()
+	if fn != nil {
+		fn(s)
+	}
+}
+
+type queue struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// TryPush polls the channel through select-with-default: it cannot
+// block, so doing it under the lock is fine.
+func (q *queue) TryPush(v int) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case q.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// Get copies the channel under the lock and waits after releasing it
+// (the progcache single-flight shape).
+func (q *queue) Get() int {
+	q.mu.Lock()
+	ready := q.ch
+	q.mu.Unlock()
+	return <-ready
+}
+
+type pair struct{ a, b sync.Mutex }
+
+// First and Second nest in the same order: no cycle.
+func (p *pair) First() {
+	p.a.Lock()
+	p.b.Lock()
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func (p *pair) Second() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock()
+	defer p.b.Unlock()
+}

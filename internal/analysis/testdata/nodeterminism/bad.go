@@ -22,6 +22,23 @@ func Stamp() time.Time {
 	return time.Now() // want "wall-clock read time.Now"
 }
 
+// Age derives durations from the wall clock: Since and Until are
+// just as nondeterministic as Now.
+func Age(t time.Time) time.Duration {
+	if time.Until(t) > 0 { // want "wall-clock read time.Until"
+		return 0
+	}
+	return time.Since(t) // want "wall-clock read time.Since"
+}
+
+// Reorder shuffles through the global RNG, changing replay order
+// between runs.
+func Reorder(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { // want "global math/rand call rand.Shuffle"
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}
+
 // IgnoredWithoutReason shows that a reason-less directive suppresses
 // nothing.
 func IgnoredWithoutReason(m map[string]int) {

@@ -32,3 +32,14 @@ func MaxValue(m map[int]int64) int64 {
 
 // Draw uses an explicitly seeded generator, not the global one.
 func Draw(r *rand.Rand) int { return r.Intn(4) }
+
+// Mix shuffles through a seeded generator: replayable, so allowed.
+func Mix(r *rand.Rand, xs []int) {
+	r.Shuffle(len(xs), func(i, j int) {
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}
+
+// Elapsed computes durations from values the caller supplies instead
+// of reading the wall clock.
+func Elapsed(startNS, nowNS int64) int64 { return nowNS - startNS }

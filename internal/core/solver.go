@@ -152,6 +152,7 @@ func (s *Solver) SolveDetailedContext(ctx context.Context, c *lsap.Matrix) (*Res
 	// The clock reset precedes the host write so injection-schedule
 	// superstep coordinates are relative to the solve, every solve.
 	dev.ResetClock()
+	//hunipulint:ignore lockdiscipline cp.mu intentionally serializes whole solves; tensor data is program-resident and the simulated engine takes no locks
 	if err := eng.HostWrite(b.slack, c.Data); err != nil {
 		cp.dirty = true
 		return nil, fmt.Errorf("core: input transfer failed: %w", err)
@@ -162,6 +163,7 @@ func (s *Solver) SolveDetailedContext(ctx context.Context, c *lsap.Matrix) (*Res
 		b.input = append([]float64(nil), c.Data...)
 		b.guardTol = guardTolerance(c.Data, s.opts.Epsilon)
 	}
+	//hunipulint:ignore lockdiscipline the run loop is the critical section cp.mu exists to guard; it simulates the device and takes no locks
 	if err := eng.RunContext(ctx); err != nil {
 		cp.dirty = true // state may be inconsistent after a failure
 		if ce, ok := faultinject.AsCorruption(err); ok {
@@ -184,6 +186,7 @@ func (s *Solver) SolveDetailedContext(ctx context.Context, c *lsap.Matrix) (*Res
 		return nil, err
 	}
 
+	//hunipulint:ignore lockdiscipline reads program-resident tensors that cp.mu guards; lock-free engine, no re-entry possible
 	stars, err := eng.HostRead(b.rowStar)
 	if err != nil {
 		cp.dirty = true
@@ -212,6 +215,7 @@ func (s *Solver) SolveDetailedContext(ctx context.Context, c *lsap.Matrix) (*Res
 	// a silent result.
 	var pots *lsap.Potentials
 	if s.opts.Guard != poplar.GuardOff {
+		//hunipulint:ignore lockdiscipline attestation reads engine state under the same per-program serialization; lock-free engine
 		p, err := b.attest(eng, dev, c, a)
 		if err != nil {
 			cp.dirty = true
@@ -232,6 +236,7 @@ func (s *Solver) SolveDetailedContext(ctx context.Context, c *lsap.Matrix) (*Res
 		res.Profile = eng.Profile()
 	}
 	if s.opts.TraceWriter != nil {
+		//hunipulint:ignore lockdiscipline trace export snapshots engine state under the same per-program serialization; the time formatter cannot re-enter cp.mu
 		if err := eng.WriteTrace(s.opts.TraceWriter); err != nil {
 			return nil, fmt.Errorf("core: trace export: %w", err)
 		}

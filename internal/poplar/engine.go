@@ -303,6 +303,11 @@ func (e *Engine) compileComputeSet(cs *ComputeSet) error {
 }
 
 // runComputeSet executes every vertex and charges one BSP superstep.
+// It runs once per superstep per solve — the hottest loop in the
+// engine — so hunipulint audits it and everything it reaches for
+// per-execution allocation churn.
+//
+//hunipulint:hotpath
 func (e *Engine) runComputeSet(cs *ComputeSet) error {
 	tileTime := e.scratch.tileTime
 	clear(tileTime)
@@ -314,20 +319,9 @@ func (e *Engine) runComputeSet(cs *ComputeSet) error {
 	}
 	sort.Ints(tiles)
 
-	runTile := func(tile int) int64 {
-		vs := cs.byTile[tile]
-		cycles := make([]int64, len(vs))
-		for i, v := range vs {
-			var w Worker
-			v.Run(&w)
-			cycles[i] = w.cycles
-		}
-		return cfg.TileTime(cycles)
-	}
-
 	if e.parallel <= 1 || len(cs.vertices) < 128 {
 		for _, t := range tiles {
-			tileTime[t] = runTile(t)
+			tileTime[t] = runTileVertices(cfg, cs, t)
 		}
 	} else {
 		times := make([]int64, len(tiles))
@@ -339,10 +333,11 @@ func (e *Engine) runComputeSet(cs *ComputeSet) error {
 				hi = len(tiles)
 			}
 			wg.Add(1)
+			//hunipulint:ignore hotalloc fork-join launch: one closure per worker chunk, amortized over the whole superstep
 			go func(lo, hi int) {
 				defer wg.Done()
 				for i := lo; i < hi; i++ {
-					times[i] = runTile(tiles[i])
+					times[i] = runTileVertices(cfg, cs, tiles[i])
 				}
 			}(lo, hi)
 		}
@@ -377,4 +372,18 @@ func (e *Engine) runComputeSet(cs *ComputeSet) error {
 	}
 	e.dev.Superstep(tileTime, cs.exchIn, cs.exchOut, cs.crossBytes, int64(len(cs.vertices)))
 	return e.checkBudget()
+}
+
+// runTileVertices executes one tile's vertices and returns the tile's
+// modeled compute time. A top-level function (not a closure) so the
+// hot superstep loop allocates nothing to call it.
+func runTileVertices(cfg ipu.Config, cs *ComputeSet, tile int) int64 {
+	vs := cs.byTile[tile]
+	cycles := make([]int64, len(vs))
+	for i, v := range vs {
+		var w Worker
+		v.Run(&w)
+		cycles[i] = w.cycles
+	}
+	return cfg.TileTime(cycles)
 }

@@ -102,16 +102,30 @@ func newBreaker(cfg BreakerConfig, now func() time.Time, onChange func(from, to 
 	}
 }
 
-// transition moves the state machine, firing the change hook. The
-// caller holds b.mu.
-func (b *breaker) transition(to BreakerState) {
+// transition moves the state machine. The caller holds b.mu and must
+// invoke the returned announcement (if non-nil) only after releasing
+// it: the change hook reaches user code (Config.OnBreakerChange),
+// and a hook that re-enters the breaker — State() from a readiness
+// probe is the obvious case — would self-deadlock if fired under the
+// lock. Announcements may interleave across racing transitions; the
+// hook receives (from, to) pairs, not a serialized history.
+func (b *breaker) transition(to BreakerState) func() {
 	from := b.state
 	if from == to {
-		return
+		return nil
 	}
 	b.state = to
-	if b.onChange != nil {
-		b.onChange(from, to)
+	if b.onChange == nil {
+		return nil
+	}
+	onChange := b.onChange
+	return func() { onChange(from, to) }
+}
+
+// fire runs a deferred transition announcement outside the lock.
+func fire(announce func()) {
+	if announce != nil {
+		announce()
 	}
 }
 
@@ -127,12 +141,16 @@ func (b *breaker) resetWindow() {
 // to half-open so observers (readiness, metrics) see probe
 // eligibility without waiting for traffic.
 func (b *breaker) State() BreakerState {
+	now := b.now()
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cfg.OpenFor {
-		b.transition(BreakerHalfOpen)
+	var announce func()
+	if b.state == BreakerOpen && now.Sub(b.openedAt) >= b.cfg.OpenFor {
+		announce = b.transition(BreakerHalfOpen)
 	}
-	return b.state
+	s := b.state
+	b.mu.Unlock()
+	fire(announce)
+	return s
 }
 
 // acquire asks to route one request through the device. ok reports
@@ -140,38 +158,41 @@ func (b *breaker) State() BreakerState {
 // the half-open canary (the caller must later call either record or,
 // if the attempt never ran, release).
 func (b *breaker) acquire() (ok, probe bool) {
+	now := b.now()
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	var announce func()
 	switch b.state {
 	case BreakerClosed:
-		return true, false
-	case BreakerOpen:
-		if b.now().Sub(b.openedAt) < b.cfg.OpenFor {
-			return false, false
+		ok = true
+	case BreakerOpen, BreakerHalfOpen:
+		if b.state == BreakerOpen {
+			if now.Sub(b.openedAt) < b.cfg.OpenFor {
+				break
+			}
+			announce = b.transition(BreakerHalfOpen)
 		}
-		b.transition(BreakerHalfOpen)
-		fallthrough
-	case BreakerHalfOpen:
-		if b.probing {
-			return false, false
+		if !b.probing {
+			b.probing = true
+			ok, probe = true, true
 		}
-		b.probing = true
-		return true, true
 	}
-	return false, false
+	b.mu.Unlock()
+	fire(announce)
+	return ok, probe
 }
 
 // available reports whether acquire could currently succeed — used by
 // admission to pick the cheapest viable device without claiming the
 // canary slot.
 func (b *breaker) available() bool {
+	now := b.now()
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case BreakerClosed:
 		return true
 	case BreakerOpen:
-		return b.now().Sub(b.openedAt) >= b.cfg.OpenFor
+		return now.Sub(b.openedAt) >= b.cfg.OpenFor
 	case BreakerHalfOpen:
 		return !b.probing
 	}
@@ -191,23 +212,27 @@ func (b *breaker) release(probe bool) {
 
 // record feeds one attempt outcome into the state machine.
 func (b *breaker) record(probe, failure bool) {
+	now := b.now()
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	var announce func()
 	if probe {
 		b.probing = false
 		if failure {
 			// The canary died: back to a full open window.
-			b.openedAt = b.now()
-			b.transition(BreakerOpen)
-			return
+			b.openedAt = now
+			announce = b.transition(BreakerOpen)
+		} else {
+			b.resetWindow()
+			announce = b.transition(BreakerClosed)
 		}
-		b.resetWindow()
-		b.transition(BreakerClosed)
+		b.mu.Unlock()
+		fire(announce)
 		return
 	}
 	if b.state != BreakerClosed {
 		// A straggler that routed before the trip; its outcome already
 		// told us nothing new.
+		b.mu.Unlock()
 		return
 	}
 	if b.size == len(b.window) { // evict the oldest outcome
@@ -224,7 +249,9 @@ func (b *breaker) record(probe, failure bool) {
 	b.next = (b.next + 1) % len(b.window)
 	if b.fails >= b.cfg.Failures {
 		b.resetWindow()
-		b.openedAt = b.now()
-		b.transition(BreakerOpen)
+		b.openedAt = now
+		announce = b.transition(BreakerOpen)
 	}
+	b.mu.Unlock()
+	fire(announce)
 }

@@ -126,6 +126,51 @@ func TestBreakerReleaseReturnsCanarySlot(t *testing.T) {
 	}
 }
 
+// TestBreakerReentrantChangeHook: a change hook that re-enters the
+// breaker (the readiness-probe shape: observe State inside the
+// notification) must not self-deadlock. Transitions are announced
+// after b.mu is released; this test hangs if that regresses, so it
+// runs the whole scenario under a watchdog.
+func TestBreakerReentrantChangeHook(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	var b *breaker
+	var seen []BreakerState
+	b = newBreaker(
+		BreakerConfig{Window: 4, Failures: 3, OpenFor: time.Second},
+		clk.now,
+		func(from, to BreakerState) {
+			// Re-enter through every read path a hook might plausibly use.
+			seen = append(seen, b.State())
+			b.available()
+		},
+	)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 3; i++ {
+			b.acquire()
+			b.record(false, true) // third failure trips closed → open
+		}
+		clk.advance(time.Second)
+		b.acquire()           // open window elapsed: open → half-open
+		b.record(true, false) // healthy canary: half-open → closed
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("breaker deadlocked firing a re-entrant change hook")
+	}
+	want := []BreakerState{BreakerOpen, BreakerHalfOpen, BreakerClosed}
+	if len(seen) != len(want) {
+		t.Fatalf("hook observed states %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("hook observed states %v, want %v", seen, want)
+		}
+	}
+}
+
 func TestBreakerStragglerRecordsIgnoredWhileOpen(t *testing.T) {
 	clk := &fakeClock{t: time.Unix(0, 0)}
 	b := newTestBreaker(clk, nil)

@@ -199,6 +199,7 @@ func (g *fabricGuard) rebaseline(r *run) {
 // position, attributing it to chip device (-1 = unattributed) and
 // charging detection latency against the earliest pending injection.
 func (r *run) corruption(guard string, device int, err error) *faultinject.CorruptionError {
+	//hunipulint:ignore hotalloc corruption reports are cold: one allocation per detected corruption, not per superstep
 	ce := &faultinject.CorruptionError{
 		Guard:    guard,
 		Detected: r.f.step,
