@@ -6,6 +6,7 @@ package hunipu
 // EXPERIMENTS.md records paper-vs-measured for both.
 
 import (
+	"math/rand"
 	"testing"
 
 	"hunipu/internal/bench"
@@ -14,6 +15,7 @@ import (
 	"hunipu/internal/datasets"
 	"hunipu/internal/fastha"
 	"hunipu/internal/graphalign"
+	"hunipu/internal/ipu"
 	"hunipu/internal/lsap"
 	"hunipu/internal/poplar"
 )
@@ -213,4 +215,40 @@ func BenchmarkSolverZoo(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// TestWarmSolveAllocBudget is the step-kernel allocation-churn ratchet.
+// Before the compile-time execution scratch (ComputeSet.tiles /
+// tileCycles / tileThreads / tileWorkers and ipu.Config.TileTimeInto),
+// a warm n=64 solve heap-allocated ~440k objects — one Worker per
+// vertex per superstep plus per-superstep schedule and timing slices.
+// With scratch laid out once at compile, the same solve allocates well
+// under a thousand objects; the bound leaves margin for host-side
+// fork-join variance without letting per-vertex churn regress.
+func TestWarmSolveAllocBudget(t *testing.T) {
+	cfg := ipu.MK2()
+	cfg.TilesPerIPU = 64
+	s, err := core.New(core.Options{Config: cfg, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	m := lsap.NewMatrix(64)
+	for i := range m.Data {
+		m.Data[i] = float64(1 + rng.Intn(640))
+	}
+	// First solve pays graph construction and compilation.
+	if _, err := s.Solve(m.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(3, func() {
+		if _, err := s.Solve(m.Clone()); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 20000
+	if avg > budget {
+		t.Fatalf("warm n=64 solve allocates %.0f objects, budget %d — per-superstep scratch reuse has regressed", avg, budget)
+	}
+	t.Logf("warm n=64 solve: %.0f allocs (budget %d, pre-scratch baseline ~440000)", avg, budget)
 }

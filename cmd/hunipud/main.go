@@ -27,6 +27,8 @@
 //	hunipud -faults-ipu 'reset every=1 times=40'   # chaos drill
 //	hunipud -progcache 32                          # cache 32 compiled shapes
 //	hunipud -shards 4 -min-fabric 2                # 4-chip fabric, survive down to 2
+//	hunipud -quality 'bounded(0.05)'               # default quality tier for requests
+//	hunipud -brownout 0.01,0.05,0.1                # ε brownout ladder under pressure
 //
 // Sharded solves are guarded by default (GuardChecksums): collective
 // frames are checksummed and retransmitted, shard row blocks are
@@ -45,6 +47,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -83,6 +86,8 @@ type flags struct {
 	progcache       int
 	shards          int
 	minFabric       int
+	quality         string
+	brownout        string
 }
 
 func parseFlags() *flags {
@@ -105,8 +110,41 @@ func parseFlags() *flags {
 	flag.IntVar(&f.progcache, "progcache", hunipu.DefaultProgramCacheCapacity, "compiled-program cache capacity in shapes (0 = disable caching; every solve recompiles)")
 	flag.IntVar(&f.shards, "shards", 0, "run IPU solves sharded over this many simulated chips; survives chip loss by re-sharding (0 = single device)")
 	flag.IntVar(&f.minFabric, "min-fabric", 0, "smallest fabric a sharded solve may continue on after chip losses (0 = 1; requires -shards)")
+	flag.StringVar(&f.quality, "quality", "exact", "default quality tier for requests that send none: exact or bounded(ε), e.g. bounded(0.05)")
+	flag.StringVar(&f.brownout, "brownout", "", "comma-separated ascending ε brownout ladder, e.g. 0.01,0.05,0.1; under pressure requests are served at the loosest tier their deadline affords instead of being shed")
 	flag.Parse()
 	return f
+}
+
+// defaultQuality maps the -quality flag to the tier applied when a
+// request sends no quality field ("" from a zero flags value means
+// exact).
+func (f *flags) defaultQuality() (hunipu.Quality, error) {
+	if f.quality == "" {
+		return hunipu.Exact(), nil
+	}
+	q, err := hunipu.ParseQuality(f.quality)
+	if err != nil {
+		return hunipu.Quality{}, fmt.Errorf("-quality: %w", err)
+	}
+	return q, nil
+}
+
+// parseBrownout maps the -brownout flag to the ε ladder.
+func parseBrownout(spec string) ([]float64, error) {
+	var tiers []float64
+	for _, w := range strings.Split(spec, ",") {
+		w = strings.TrimSpace(w)
+		if w == "" {
+			continue
+		}
+		eps, err := strconv.ParseFloat(w, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-brownout: tier %q: %w", w, err)
+		}
+		tiers = append(tiers, eps)
+	}
+	return tiers, nil
 }
 
 // parseDevices maps the -devices flag to a ladder.
@@ -144,6 +182,10 @@ func (f *flags) serverConfig() (serve.Config, error) {
 			guardSet = true
 		}
 	})
+	tiers, err := parseBrownout(f.brownout)
+	if err != nil {
+		return serve.Config{}, err
+	}
 	cfg := serve.Config{
 		Devices:         devices,
 		Workers:         f.workers,
@@ -155,6 +197,7 @@ func (f *flags) serverConfig() (serve.Config, error) {
 		Shards:          f.shards,
 		MinShardDevices: f.minFabric,
 		LatencyBudget:   f.latencyBudget,
+		BrownoutTiers:   tiers,
 		Breaker: serve.BreakerConfig{
 			Window:   f.breakerWindow,
 			Failures: f.breakerFailures,
@@ -180,14 +223,21 @@ func (f *flags) serverConfig() (serve.Config, error) {
 	return cfg, nil
 }
 
-// solveRequest is the POST /solve body.
+// solveRequest is the POST /solve body. Quality is a ParseQuality
+// spec ("exact" or "bounded(ε)"); empty means the daemon's -quality
+// default. Key names the client's solve stream for per-key dual
+// warm-starting (see serve.Request.Key).
 type solveRequest struct {
 	Costs      [][]float64 `json:"costs"`
 	Maximize   bool        `json:"maximize,omitempty"`
 	DeadlineMS int64       `json:"deadline_ms,omitempty"`
+	Quality    string      `json:"quality,omitempty"`
+	Key        string      `json:"key,omitempty"`
 }
 
-// solveResponse is the success body.
+// solveResponse is the success body. Quality is the tier that actually
+// served (the brownout controller may loosen the requested tier) and
+// Gap its certified normalized optimality gap — 0 for exact serves.
 type solveResponse struct {
 	Assignment []int   `json:"assignment"`
 	Cost       float64 `json:"cost"`
@@ -196,6 +246,8 @@ type solveResponse struct {
 	Attempts   int     `json:"attempts"`
 	ModeledUS  int64   `json:"modeled_us"`
 	WallUS     int64   `json:"wall_us"`
+	Quality    string  `json:"quality"`
+	Gap        float64 `json:"gap"`
 }
 
 // errorResponse is the failure body.
@@ -226,12 +278,19 @@ func publishVars() {
 type daemon struct {
 	srv             *serve.Server
 	defaultDeadline time.Duration
+	defaultQuality  hunipu.Quality
 }
 
 // newDaemon wires the mux. The returned handler is what hunipud
 // listens on and what the tests drive via httptest.
 func newDaemon(srv *serve.Server, defaultDeadline time.Duration) (*daemon, http.Handler) {
-	d := &daemon{srv: srv, defaultDeadline: defaultDeadline}
+	return newDaemonQuality(srv, defaultDeadline, hunipu.Exact())
+}
+
+// newDaemonQuality is newDaemon with a -quality default for requests
+// that send no quality field.
+func newDaemonQuality(srv *serve.Server, defaultDeadline time.Duration, defaultQuality hunipu.Quality) (*daemon, http.Handler) {
+	d := &daemon{srv: srv, defaultDeadline: defaultDeadline, defaultQuality: defaultQuality}
 	activeServer.Store(srv)
 	publishVars()
 	mux := http.NewServeMux()
@@ -264,6 +323,15 @@ func (d *daemon) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", "malformed JSON: "+err.Error())
 		return
 	}
+	quality := d.defaultQuality
+	if req.Quality != "" {
+		var err error
+		if quality, err = hunipu.ParseQuality(req.Quality); err != nil {
+			status, code := classify(err)
+			writeError(w, status, code, err.Error())
+			return
+		}
+	}
 	ctx := r.Context()
 	deadline := d.defaultDeadline
 	if req.DeadlineMS > 0 {
@@ -274,7 +342,10 @@ func (d *daemon) handleSolve(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, deadline)
 		defer cancel()
 	}
-	res, err := d.srv.Submit(ctx, serve.Request{Costs: req.Costs, Maximize: req.Maximize})
+	res, err := d.srv.Submit(ctx, serve.Request{
+		Costs: req.Costs, Maximize: req.Maximize,
+		Quality: quality, Key: req.Key,
+	})
 	if err != nil {
 		status, code := classify(err)
 		writeError(w, status, code, err.Error())
@@ -289,6 +360,8 @@ func (d *daemon) handleSolve(w http.ResponseWriter, r *http.Request) {
 		Attempts:   len(res.Report.Attempts),
 		ModeledUS:  res.Modeled.Microseconds(),
 		WallUS:     res.Wall.Microseconds(),
+		Quality:    res.Quality.String(),
+		Gap:        res.Gap,
 	})
 }
 
@@ -329,11 +402,15 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	quality, err := f.defaultQuality()
+	if err != nil {
+		return err
+	}
 	srv, err := serve.New(cfg)
 	if err != nil {
 		return err
 	}
-	_, handler := newDaemon(srv, f.deadline)
+	_, handler := newDaemonQuality(srv, f.deadline, quality)
 	httpSrv := &http.Server{Addr: f.addr, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)

@@ -234,3 +234,70 @@ func TestParseDevices(t *testing.T) {
 		t.Fatal("parseDevices accepted tpu")
 	}
 }
+
+// TestBoundedQualityEndpoint drives the degradation-ladder wire
+// surface: a bounded(ε) request comes back reporting the serving tier
+// and a certified gap within ε, and a malformed spec is a client
+// error.
+func TestBoundedQualityEndpoint(t *testing.T) {
+	_, ts := newTestDaemon(t, serve.Config{Workers: 1}, 0)
+	resp, raw := postSolve(t, ts, `{"costs":[[4,1,3],[2,0,5],[3,2,2]],"quality":"bounded(0.1)","key":"stream-a"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, raw)
+	}
+	var out solveResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("bad JSON %s: %v", raw, err)
+	}
+	if out.Quality != "bounded(0.1)" {
+		t.Fatalf("quality = %q, want bounded(0.1)", out.Quality)
+	}
+	if out.Gap < 0 || out.Gap > 0.1 {
+		t.Fatalf("gap = %v, want within [0, 0.1]", out.Gap)
+	}
+	if out.Cost > 5*(1+0.1)+0.1 {
+		t.Fatalf("cost = %v, not within ε of the optimum 5", out.Cost)
+	}
+	resp, raw = postSolve(t, ts, `{"costs":[[1]],"quality":"bounded(-1)"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed quality = %d (%s), want 400", resp.StatusCode, raw)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(raw, &e); err != nil || e.Code != "invalid_input" {
+		t.Fatalf("malformed quality code = %q (%s)", e.Code, raw)
+	}
+}
+
+// TestQualityAndBrownoutFlags checks the flag plumbing end to end:
+// -brownout becomes the serve ladder, -quality the per-request
+// default, and malformed specs fail startup.
+func TestQualityAndBrownoutFlags(t *testing.T) {
+	f := &flags{devices: "cpu", guard: "off", brownout: "0.01, 0.05,0.1"}
+	cfg, err := f.serverConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.01, 0.05, 0.1}
+	if len(cfg.BrownoutTiers) != len(want) {
+		t.Fatalf("BrownoutTiers = %v, want %v", cfg.BrownoutTiers, want)
+	}
+	for i := range want {
+		if cfg.BrownoutTiers[i] != want[i] {
+			t.Fatalf("BrownoutTiers = %v, want %v", cfg.BrownoutTiers, want)
+		}
+	}
+	f.brownout = "0.01,zero"
+	if _, err := f.serverConfig(); err == nil {
+		t.Fatal("-brownout zero accepted")
+	}
+	f.brownout = ""
+	f.quality = "bounded(0.05)"
+	q, err := f.defaultQuality()
+	if err != nil || !q.IsBounded() || q.Epsilon() != 0.05 {
+		t.Fatalf("defaultQuality = %v, %v", q, err)
+	}
+	f.quality = "approx"
+	if _, err := f.defaultQuality(); err == nil {
+		t.Fatal("-quality approx accepted")
+	}
+}

@@ -81,6 +81,12 @@ type config struct {
 	// Sharding knobs; see sharding.go.
 	shards    int
 	minFabric int
+
+	// Degradation-ladder knobs; see quality.go.
+	quality Quality
+	warmU   []float64
+	warmV   []float64
+	warmSet bool
 }
 
 // Option configures a Solve or Align call.
@@ -129,6 +135,22 @@ type Result struct {
 	// Report describes fault recovery and device fallback during the
 	// solve; see the Report type in reliability.go.
 	Report *Report
+	// Quality is the tier that served the request: Exact (the default)
+	// or Bounded(ε) when WithQuality degraded the solve. Gap is the
+	// certified normalized optimality gap actually attested — 0 for
+	// exact solves, at most Quality.Epsilon() for bounded ones (the
+	// bounded path fails with a typed *lsap.GapError rather than
+	// return anything worse).
+	Quality Quality
+	Gap     float64
+	// Duals is the dual-potential certificate of the solve when the
+	// serving solver produced one: the CPU solver, guarded IPU solves
+	// (WithGuard — the guard-mode graph is what maintains explicit
+	// duals on device), and every bounded solve. Unguarded IPU exact
+	// solves and the FastHA GPU baseline do not track duals, and leave
+	// this nil. Feed it to WithWarmStart on the next solve of a
+	// similar matrix.
+	Duals *Duals
 }
 
 // Solve computes an optimal assignment of rows to columns for the

@@ -10,6 +10,7 @@ import (
 	"hunipu/internal/cpuhung"
 	"hunipu/internal/datasets"
 	"hunipu/internal/fastha"
+	"hunipu/internal/ipuauction"
 	"hunipu/internal/lsap"
 )
 
@@ -26,14 +27,16 @@ import (
 // on any breaking schema change so downstream diff tooling can reject
 // files it does not understand.
 const (
-	TrajectorySchema  = "hunipu-bench-trajectory"
-	TrajectoryVersion = 1
+	TrajectorySchema = "hunipu-bench-trajectory"
+	// Version 2 added the degradation-ladder columns (bounded_solve_ns,
+	// bounded_gap, warm_start_solve_ns).
+	TrajectoryVersion = 2
 )
 
 // TrajectoryID names the trajectory file this source tree emits.
 // Convention: BENCH_<4-digit PR ordinal>, matching the PR that
 // established (or last re-baselined) the measurement.
-const TrajectoryID = "BENCH_0006"
+const TrajectoryID = "BENCH_0010"
 
 // Trajectory is one recorded run of the suite. Field order is the
 // serialization order (encoding/json emits struct fields in
@@ -43,7 +46,7 @@ type Trajectory struct {
 	// Schema and Version identify the file format.
 	Schema  string `json:"schema"`
 	Version int    `json:"version"`
-	// ID is the trajectory name, e.g. "BENCH_0006".
+	// ID is the trajectory name, e.g. "BENCH_0010".
 	ID string `json:"id"`
 	// Seed drove every workload generator.
 	Seed int64 `json:"seed"`
@@ -89,6 +92,18 @@ type TrajectoryCase struct {
 	// The compiled-program cache makes this 0 by construction; the CI
 	// trajectory job fails if it ever rises.
 	WarmBuilds int64 `json:"warm_builds"`
+
+	// Degradation-ladder columns (since version 2; see DESIGN.md §5h).
+	// BoundedSolveNS is the mean real latency of a Bounded(0.05) solve
+	// on the IPU auction port, and BoundedGap the worst certified
+	// normalized gap those solves attested (≤ 0.05 by contract).
+	// WarmStartSolveNS is the same solve warm-started from a prior
+	// solve's dual potentials. Both include per-solve program
+	// construction — the auction port has no compiled-program cache
+	// yet — so they bound the ladder's brownout win from above.
+	BoundedSolveNS   int64   `json:"bounded_solve_ns"`
+	BoundedGap       float64 `json:"bounded_gap"`
+	WarmStartSolveNS int64   `json:"warm_start_solve_ns"`
 }
 
 // TrajectoryConfig scopes a trajectory run.
@@ -228,6 +243,79 @@ func runTrajectoryCase(cfg TrajectoryConfig, gpuSolver *fastha.Solver, n int, m 
 	if d := cache.Stats().Builds - buildsBefore; d > c.WarmBuilds {
 		c.WarmBuilds = d
 	}
+
+	// Degradation-ladder columns: Bounded(0.05) on the IPU auction
+	// port, cold-discarded then averaged like the warm runs, every
+	// answer re-certified against the JV optimum; then the same solve
+	// warm-started from the first bounded solve's dual potentials.
+	const boundedEps = 0.05
+	bSolver, err := ipuauction.New(ipuauction.Options{
+		Config: opts.Config, Epsilon: boundedEps, MaxSupersteps: opts.MaxSupersteps,
+	})
+	if err != nil {
+		return nil, err
+	}
+	certify := func(sol *lsap.Solution, what string) error {
+		if sol.Gap > boundedEps {
+			return fmt.Errorf("%s certified gap %g exceeds ε=%g", what, sol.Gap, boundedEps)
+		}
+		if g := lsap.NormalizedGap(sol.Cost, ref.Cost); g > boundedEps+1e-9 {
+			return fmt.Errorf("%s true gap %g exceeds ε=%g", what, g, boundedEps)
+		}
+		if sol.Gap > c.BoundedGap {
+			c.BoundedGap = sol.Gap
+		}
+		return nil
+	}
+	first, err := bSolver.Solve(m)
+	if err != nil {
+		return nil, fmt.Errorf("bounded cold solve: %w", err)
+	}
+	if err := certify(first, "bounded cold solve"); err != nil {
+		return nil, err
+	}
+	boundedStart := time.Now()
+	for i := 0; i < cfg.WarmRuns; i++ {
+		sol, err := bSolver.Solve(m)
+		if err != nil {
+			return nil, fmt.Errorf("bounded solve %d: %w", i, err)
+		}
+		if err := certify(sol, fmt.Sprintf("bounded solve %d", i)); err != nil {
+			return nil, err
+		}
+	}
+	c.BoundedSolveNS = time.Since(boundedStart).Nanoseconds() / int64(cfg.WarmRuns)
+
+	if first.Potentials == nil {
+		return nil, fmt.Errorf("bounded solve returned no dual potentials to warm-start from")
+	}
+	warmPrices := make([]float64, m.N)
+	for j, v := range first.Potentials.V {
+		warmPrices[j] = -v
+	}
+	wSolver, err := ipuauction.New(ipuauction.Options{
+		Config: opts.Config, Epsilon: boundedEps, MaxSupersteps: opts.MaxSupersteps,
+		WarmPrices: warmPrices,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if sol, err := wSolver.Solve(m); err != nil {
+		return nil, fmt.Errorf("warm-started cold solve: %w", err)
+	} else if err := certify(sol, "warm-started cold solve"); err != nil {
+		return nil, err
+	}
+	warmStartStart := time.Now()
+	for i := 0; i < cfg.WarmRuns; i++ {
+		sol, err := wSolver.Solve(m)
+		if err != nil {
+			return nil, fmt.Errorf("warm-started solve %d: %w", i, err)
+		}
+		if err := certify(sol, fmt.Sprintf("warm-started solve %d", i)); err != nil {
+			return nil, err
+		}
+	}
+	c.WarmStartSolveNS = time.Since(warmStartStart).Nanoseconds() / int64(cfg.WarmRuns)
 	return c, nil
 }
 

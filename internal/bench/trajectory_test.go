@@ -27,19 +27,22 @@ func sampleTrajectory() *Trajectory {
 		WarmRuns: 8,
 		Go:       "go1.24.0",
 		Cases: []TrajectoryCase{{
-			Name:           "gaussian-n64-k500",
-			N:              64,
-			K:              500,
-			IPUCycles:      1024106,
-			IPUModeledUS:   772,
-			IPUSupersteps:  2761,
-			GPUCycles:      11796414,
-			GPUModeledUS:   8366,
-			CPUNS:          183772,
-			ColdSolveNS:    43960432,
-			WarmSolveNS:    33752232,
-			AllocsPerSolve: 439894,
-			WarmBuilds:     0,
+			Name:             "gaussian-n64-k500",
+			N:                64,
+			K:                500,
+			IPUCycles:        1024106,
+			IPUModeledUS:     772,
+			IPUSupersteps:    2761,
+			GPUCycles:        11796414,
+			GPUModeledUS:     8366,
+			CPUNS:            183772,
+			ColdSolveNS:      43960432,
+			WarmSolveNS:      33752232,
+			AllocsPerSolve:   439894,
+			WarmBuilds:       0,
+			BoundedSolveNS:   21504480,
+			BoundedGap:       0.0131,
+			WarmStartSolveNS: 18265112,
 		}},
 	}
 }
@@ -86,7 +89,7 @@ func TestTrajectoryDeterministicOrdering(t *testing.T) {
 	}
 	// The schema header must come first so humans and tools can identify
 	// a trajectory file from its opening bytes.
-	if !bytes.HasPrefix(first, []byte("{\n  \"schema\": \"hunipu-bench-trajectory\",\n  \"version\": 1,")) {
+	if !bytes.HasPrefix(first, []byte("{\n  \"schema\": \"hunipu-bench-trajectory\",\n  \"version\": 2,")) {
 		t.Errorf("schema/version are not the leading fields:\n%s", first[:80])
 	}
 }
@@ -159,6 +162,12 @@ func TestRunTrajectoryShort(t *testing.T) {
 		}
 		if c.ColdSolveNS <= 0 || c.WarmSolveNS <= 0 {
 			t.Errorf("case %s missing cold/warm latency: %+v", c.Name, c)
+		}
+		if c.BoundedSolveNS <= 0 || c.WarmStartSolveNS <= 0 {
+			t.Errorf("case %s missing degradation-ladder latency: %+v", c.Name, c)
+		}
+		if c.BoundedGap < 0 || c.BoundedGap > 0.05 {
+			t.Errorf("case %s bounded gap %g outside [0, 0.05]", c.Name, c.BoundedGap)
 		}
 	}
 	if err := tr.CheckWarmCache(); err != nil {

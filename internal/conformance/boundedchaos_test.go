@@ -1,0 +1,77 @@
+package conformance
+
+import (
+	"testing"
+)
+
+// TestBoundedChaosCertifiedOrTyped is the degradation-ladder
+// acceptance sweep: ≥50 seeded fault schedules per ε tier through the
+// public WithQuality path, and every run ends within ε of the
+// independently computed optimum or as a typed error — a bounded solve
+// is never silently worse than promised, and Bounded(0) re-proves the
+// exact invariant.
+func TestBoundedChaosCertifiedOrTyped(t *testing.T) {
+	cfg := DefaultBoundedChaosConfig()
+	cfg.Seed = chaosSeed(t)
+	if cfg.Schedules < 50 {
+		t.Fatalf("config sweeps %d schedules, acceptance floor is 50", cfg.Schedules)
+	}
+	for _, eps := range []float64{0, 0.01, 0.1} {
+		found := false
+		for _, have := range cfg.Epsilons {
+			if have == eps {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("ε tier %g missing from %v; the acceptance grid requires it", eps, cfg.Epsilons)
+		}
+	}
+	rep, err := RunBoundedChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.Schedules * len(cfg.Sizes) * len(cfg.Epsilons)
+	if rep.Runs != want {
+		t.Fatalf("Runs = %d, want %d", rep.Runs, want)
+	}
+	for _, v := range rep.Wrong {
+		t.Errorf("bounded answer outside its contract: %s", v)
+	}
+	for _, v := range rep.Untyped {
+		t.Errorf("untyped failure on the bounded path: %s", v)
+	}
+	if rep.Survived == 0 {
+		t.Fatalf("sweep never recovered through a fault: %+v", rep)
+	}
+	if rep.MaxTrueGap > rep.MaxGap+1e-9 {
+		t.Fatalf("true gap %g exceeds worst certified gap %g — a certificate was optimistic",
+			rep.MaxTrueGap, rep.MaxGap)
+	}
+	t.Logf("bounded chaos seed=%d: %d runs, %d clean, %d survived, %d fault errors, %d gap refusals, max certified gap %g (true %g)",
+		cfg.Seed, rep.Runs, rep.Clean, rep.Survived, rep.TypedFaults, rep.GapRefusals, rep.MaxGap, rep.MaxTrueGap)
+}
+
+// TestBoundedChaosDeterministic: the same seed must replay the exact
+// same sweep, or CHAOS_SEED reproducers are worthless.
+func TestBoundedChaosDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bounded chaos replay is covered by the full run")
+	}
+	cfg := BoundedChaosConfig{
+		Schedules: 25, Epsilons: []float64{0, 0.05}, Sizes: []int{10},
+		Retries: 2, Seed: 42,
+	}
+	a, err := RunBoundedChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunBoundedChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Runs != b.Runs || a.Clean != b.Clean || a.Survived != b.Survived ||
+		a.TypedFaults != b.TypedFaults || a.GapRefusals != b.GapRefusals {
+		t.Fatalf("same seed, different sweeps: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,135 @@
+package gpuauction
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"hunipu/internal/cpuhung"
+	"hunipu/internal/lsap"
+)
+
+// TestBoundedCertified mirrors the CPU auction's bounded contract on
+// the GPU port: certified within ε via VerifyOptimalWithBound, with
+// early termination doing visibly less work at loose ε.
+func TestBoundedCertified(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, eps := range []float64{0.01, 0.1} {
+		for trial := 0; trial < 10; trial++ {
+			n := 2 + rng.Intn(16)
+			m := randomIntMatrix(rng, n, 1000)
+			s, err := New(Options{Epsilon: eps})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := s.SolveDetailed(m)
+			if err != nil {
+				t.Fatalf("ε=%g trial %d: %v", eps, trial, err)
+			}
+			sol := r.Solution
+			if sol.Potentials == nil || sol.Gap > eps {
+				t.Fatalf("ε=%g trial %d: gap %g, potentials %v", eps, trial, sol.Gap, sol.Potentials)
+			}
+			if err := lsap.VerifyOptimalWithBound(m, sol.Assignment, *sol.Potentials, eps); err != nil {
+				t.Fatalf("ε=%g trial %d: uncertified: %v", eps, trial, err)
+			}
+		}
+	}
+}
+
+// TestBoundedTerminatesEarly: at a loose ε the scaling schedule should
+// stop after fewer rounds than the exact run on the same instance.
+func TestBoundedTerminatesEarly(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	m := randomIntMatrix(rng, 32, 1000)
+	exact, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := exact.SolveDetailed(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := New(Options{Epsilon: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := loose.SolveDetailed(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl.Rounds >= re.Rounds {
+		t.Fatalf("bounded run used %d rounds, exact used %d — no early termination", rl.Rounds, re.Rounds)
+	}
+}
+
+func TestWarmPricesStayCertified(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	m := randomIntMatrix(rng, 12, 500)
+	first, err := New(Options{Epsilon: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := first.SolveDetailed(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := make([]float64, m.N)
+	for j, v := range r1.Solution.Potentials.V {
+		warm[j] = -v
+	}
+	second, err := New(Options{Epsilon: 0.05, WarmPrices: warm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := second.SolveDetailed(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lsap.VerifyOptimalWithBound(m, r2.Solution.Assignment, *r2.Solution.Potentials, 0.05); err != nil {
+		t.Fatalf("warm solve uncertified: %v", err)
+	}
+}
+
+func TestBoundedCostNearOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + rng.Intn(12)
+		m := randomIntMatrix(rng, n, 200)
+		s, err := New(Options{Epsilon: 0.05})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := s.Solve(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := (cpuhung.JV{}).Solve(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := sol.Potentials.DualObjective()
+		if sol.Cost-ref.Cost > 0.05*(1+bound)+1e-9 {
+			t.Fatalf("trial %d: cost %g vs optimum %g breaks the ε bound", trial, sol.Cost, ref.Cost)
+		}
+	}
+}
+
+func TestContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m := randomIntMatrix(rand.New(rand.NewSource(35)), 16, 100)
+	s, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SolveContext(ctx, m); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestEpsilonValidation(t *testing.T) {
+	if _, err := New(Options{Epsilon: -0.5}); err == nil {
+		t.Fatal("negative Epsilon accepted")
+	}
+}

@@ -15,6 +15,7 @@
 package gpuauction
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -33,6 +34,17 @@ type Options struct {
 	EpsScale float64
 	// MaxRounds bounds the bidding rounds. 0 means 200·n per phase.
 	MaxRounds int64
+	// Epsilon is the target normalized optimality gap (see
+	// lsap.NormalizedGap). 0 runs the full ε-scaling schedule (exact
+	// for integer matrices); > 0 terminates the schedule at the first
+	// phase whose assignment the price-derived duals certify within
+	// Epsilon, and the solve fails with a typed *lsap.GapError when it
+	// cannot attest the answer that tightly.
+	Epsilon float64
+	// WarmPrices seeds the column prices (benefit space; −v from a
+	// prior solve's duals). Length n, finite. Prices shift where
+	// bidding starts; the certificate never depends on them.
+	WarmPrices []float64
 }
 
 // Solver is the GPU auction. It implements lsap.Solver.
@@ -60,6 +72,9 @@ func New(opts Options) (*Solver, error) {
 	if opts.EpsScale <= 1 {
 		return nil, fmt.Errorf("gpuauction: EpsScale = %g, want > 1", opts.EpsScale)
 	}
+	if math.IsNaN(opts.Epsilon) || math.IsInf(opts.Epsilon, 0) || opts.Epsilon < 0 {
+		return nil, fmt.Errorf("gpuauction: Epsilon = %g, want finite ≥ 0", opts.Epsilon)
+	}
 	return &Solver{opts: opts}, nil
 }
 
@@ -83,8 +98,23 @@ func (s *Solver) Solve(c *lsap.Matrix) (*lsap.Solution, error) {
 	return r.Solution, nil
 }
 
+// SolveContext implements lsap.ContextSolver: cancellation is checked
+// at every kernel round.
+func (s *Solver) SolveContext(ctx context.Context, c *lsap.Matrix) (*lsap.Solution, error) {
+	r, err := s.SolveDetailedContext(ctx, c)
+	if err != nil {
+		return nil, err
+	}
+	return r.Solution, nil
+}
+
 // SolveDetailed solves the LSAP and reports the modeled GPU profile.
 func (s *Solver) SolveDetailed(c *lsap.Matrix) (*Result, error) {
+	return s.SolveDetailedContext(context.Background(), c)
+}
+
+// SolveDetailedContext is SolveDetailed with cancellation support.
+func (s *Solver) SolveDetailedContext(ctx context.Context, c *lsap.Matrix) (*Result, error) {
 	n := c.N
 	if n == 0 {
 		return &Result{Solution: &lsap.Solution{Assignment: lsap.Assignment{}}}, nil
@@ -116,6 +146,17 @@ func (s *Solver) SolveDetailed(c *lsap.Matrix) (*Result, error) {
 	}
 
 	price := make([]float64, n)
+	if s.opts.WarmPrices != nil {
+		if len(s.opts.WarmPrices) != n {
+			return nil, fmt.Errorf("gpuauction: warm prices have %d entries, want %d", len(s.opts.WarmPrices), n)
+		}
+		for j, p := range s.opts.WarmPrices {
+			if math.IsNaN(p) || math.IsInf(p, 0) {
+				return nil, fmt.Errorf("gpuauction: warm price[%d] = %g, want finite", j, p)
+			}
+			price[j] = p
+		}
+	}
 	owner := make([]int, n)
 	assigned := make([]int, n)
 	bidVal := make([]float64, n)
@@ -140,7 +181,11 @@ func (s *Solver) SolveDetailed(c *lsap.Matrix) (*Result, error) {
 		maxRounds = 200 * int64(n)
 	}
 
-	var rounds int64
+	var (
+		rounds int64
+		pots   lsap.Potentials
+		gap    = math.Inf(1)
+	)
 	for {
 		// Each ε-phase restarts the assignment (standard ε-scaling).
 		for j := range owner {
@@ -150,6 +195,9 @@ func (s *Solver) SolveDetailed(c *lsap.Matrix) (*Result, error) {
 		unassigned := n
 		var phaseRounds int64
 		for unassigned > 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if phaseRounds++; phaseRounds > maxRounds {
 				return nil, fmt.Errorf("gpuauction: exceeded %d rounds in one phase", maxRounds)
 			}
@@ -225,6 +273,18 @@ func (s *Solver) SolveDetailed(c *lsap.Matrix) (*Result, error) {
 				}
 			}
 		}
+		// Phase boundary: every bidder is assigned at ε-complementary
+		// slackness, so host-side price-derived duals certify the
+		// assignment within n·ε (the natural sync point — prices are
+		// already host-resident after HostSync). In bounded mode a
+		// certified-within-Epsilon phase ends the scaling schedule.
+		phaseA := make(lsap.Assignment, n)
+		copy(phaseA, assigned)
+		pots = lsap.PriceDuals(c, price)
+		gap = lsap.NormalizedGap(phaseA.Cost(c), pots.DualObjective())
+		if s.opts.Epsilon > 0 && gap <= s.opts.Epsilon {
+			break
+		}
 		if eps < epsMin {
 			break
 		}
@@ -236,8 +296,14 @@ func (s *Solver) SolveDetailed(c *lsap.Matrix) (*Result, error) {
 	if err := a.Validate(n); err != nil {
 		return nil, fmt.Errorf("gpuauction: produced invalid matching: %w", err)
 	}
+	if s.opts.Epsilon > 0 {
+		// The bounded contract: attested within ε or a typed failure.
+		if err := lsap.VerifyOptimalWithBound(c, a, pots, s.opts.Epsilon); err != nil {
+			return nil, &lsap.GapError{Solver: "GPU-Auction", Epsilon: s.opts.Epsilon, Gap: gap}
+		}
+	}
 	return &Result{
-		Solution: &lsap.Solution{Assignment: a, Cost: a.Cost(c)},
+		Solution: &lsap.Solution{Assignment: a, Cost: a.Cost(c), Potentials: &pots, Gap: gap},
 		Stats:    dev.Stats(),
 		Modeled:  dev.ModeledTime(),
 		Rounds:   rounds,

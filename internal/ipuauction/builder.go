@@ -15,6 +15,7 @@ type auctionBuilder struct {
 	o           Options
 	g           *poplar.Graph
 	n           int
+	epsMin      float64
 	rowsPerTile int
 	numBlocks   int
 	utilTile    int
@@ -33,8 +34,8 @@ type auctionBuilder struct {
 	roundGo *poplar.Tensor // Bool scalar
 }
 
-func newAuctionBuilder(o Options, n int) (*auctionBuilder, error) {
-	b := &auctionBuilder{o: o, g: poplar.NewGraph(o.Config), n: n}
+func newAuctionBuilder(o Options, n int, epsMin float64) (*auctionBuilder, error) {
+	b := &auctionBuilder{o: o, g: poplar.NewGraph(o.Config), n: n, epsMin: epsMin}
 	tiles := o.Config.Tiles()
 	b.rowsPerTile = o.RowsPerTile
 	if b.rowsPerTile == 0 {
@@ -244,12 +245,16 @@ func (b *auctionBuilder) program() poplar.Program {
 		}, nil, []*poplar.Tensor{b.roundGo}),
 	)
 
-	epsMin := 1.0 / float64(n+1)
+	// The ε floor is chosen host-side: 1/(n+1) for exactness on integer
+	// matrices, Epsilon/n for a bounded-quality target (see
+	// Options.Epsilon) — the early-termination knob of the degradation
+	// ladder.
+	epsMin := b.epsMin
 	scale := b.o.EpsScale
 	epsCheck := b.scalarStep("auc_epscheck", func(get func(int) float64, set func(int, float64)) {
 		e := get(0)
 		if e < epsMin {
-			set(1, 0) // phaseGo off: the sub-1/(n+1) phase just ran
+			set(1, 0) // phaseGo off: the sub-floor phase just ran
 		} else {
 			set(0, e/scale)
 		}

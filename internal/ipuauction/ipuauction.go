@@ -43,6 +43,21 @@ type Options struct {
 	// MaxRetries bounds checkpoint-resume recovery from transient
 	// injected faults. 0 disables recovery.
 	MaxRetries int
+	// Epsilon is the target normalized optimality gap (see
+	// lsap.NormalizedGap). 0 runs the full ε-scaling schedule (exact
+	// for integer matrices). > 0 raises the device's ε floor to
+	// Epsilon/n — the scaling loop stops as soon as a phase at that
+	// floor has run, since ε-complementary slackness then bounds the
+	// gap by n·ε ≤ Epsilon — and the host certifies the readback with
+	// price-derived feasible duals via lsap.VerifyOptimalWithBound. A
+	// failed certificate tightens the floor and re-runs (twice), then
+	// fails with a typed *lsap.GapError: a bounded answer is attested
+	// within ε or withheld, never silently worse.
+	Epsilon float64
+	// WarmPrices seeds the price tensor (benefit space; −v from a
+	// prior solve's duals). Length n, finite. The certificate never
+	// depends on them, so a stale prior costs rounds, not soundness.
+	WarmPrices []float64
 }
 
 // Solver is the IPU auction. It implements lsap.Solver.
@@ -63,6 +78,9 @@ func New(opts Options) (*Solver, error) {
 	}
 	if opts.EpsScale <= 1 {
 		return nil, fmt.Errorf("ipuauction: EpsScale = %g, want > 1", opts.EpsScale)
+	}
+	if math.IsNaN(opts.Epsilon) || math.IsInf(opts.Epsilon, 0) || opts.Epsilon < 0 {
+		return nil, fmt.Errorf("ipuauction: Epsilon = %g, want finite ≥ 0", opts.Epsilon)
 	}
 	return &Solver{opts: opts}, nil
 }
@@ -111,8 +129,73 @@ func (s *Solver) SolveDetailedContext(ctx context.Context, c *lsap.Matrix) (*Res
 			return nil, fmt.Errorf("ipuauction: cost matrix must be finite")
 		}
 	}
+	if s.opts.WarmPrices != nil {
+		if len(s.opts.WarmPrices) != n {
+			return nil, fmt.Errorf("ipuauction: warm prices have %d entries, want %d", len(s.opts.WarmPrices), n)
+		}
+		for j, p := range s.opts.WarmPrices {
+			if math.IsNaN(p) || math.IsInf(p, 0) {
+				return nil, fmt.Errorf("ipuauction: warm price[%d] = %g, want finite", j, p)
+			}
+		}
+	}
 
-	b, err := newAuctionBuilder(s.opts, n)
+	// The device ε floor: 1/(n+1) gives exactness on integer matrices.
+	// A bounded target raises it: ε-complementary slackness at floor e
+	// leaves an absolute gap of at most n·e, and the certified gap is
+	// normalized by 1+|bound|, so a floor of Epsilon·(1+lb)/n — with lb
+	// the sum of row minima, a cheap lower bound on the optimum that the
+	// dual bound tracks — lands the normalized gap near Epsilon. The
+	// floor is only an early-termination heuristic: certification below
+	// decides, and a failed certificate rebuilds with a tighter floor.
+	epsMin := 1.0 / float64(n+1)
+	if s.opts.Epsilon > 0 {
+		lb := 0.0
+		for i := 0; i < n; i++ {
+			row := c.Row(i)
+			min := row[0]
+			for _, v := range row[1:] {
+				if v < min {
+					min = v
+				}
+			}
+			lb += min
+		}
+		if lb < 0 {
+			lb = 0
+		}
+		if alt := s.opts.Epsilon * (1 + lb) / float64(n); alt > epsMin {
+			epsMin = alt
+		}
+	}
+	var (
+		r       *Result
+		lastGap = math.Inf(1)
+		err     error
+	)
+	for attempt := 0; attempt < 3; attempt++ {
+		r, err = s.runOnce(ctx, c, epsMin)
+		if err != nil {
+			return nil, err
+		}
+		if s.opts.Epsilon == 0 {
+			return r, nil
+		}
+		// The bounded contract: attested within ε or a typed failure.
+		if cerr := lsap.VerifyOptimalWithBound(c, r.Solution.Assignment, *r.Solution.Potentials, s.opts.Epsilon); cerr == nil {
+			return r, nil
+		}
+		lastGap = r.Solution.Gap
+		epsMin /= 8
+	}
+	return nil, &lsap.GapError{Solver: "IPU-Auction", Epsilon: s.opts.Epsilon, Gap: lastGap}
+}
+
+// runOnce builds and executes one on-device auction at the given ε
+// floor, returning the readback with its price-derived certificate.
+func (s *Solver) runOnce(ctx context.Context, c *lsap.Matrix, epsMin float64) (*Result, error) {
+	n := c.N
+	b, err := newAuctionBuilder(s.opts, n, epsMin)
 	if err != nil {
 		return nil, err
 	}
@@ -149,6 +232,11 @@ func (s *Solver) SolveDetailedContext(ctx context.Context, c *lsap.Matrix) (*Res
 	if err := eng.HostWrite(b.benefit, benefit); err != nil {
 		return nil, fmt.Errorf("ipuauction: input transfer failed: %w", err)
 	}
+	if s.opts.WarmPrices != nil {
+		if err := eng.HostWrite(b.price, s.opts.WarmPrices); err != nil {
+			return nil, fmt.Errorf("ipuauction: warm-price transfer failed: %w", err)
+		}
+	}
 	if err := eng.RunContext(ctx); err != nil {
 		if fe, ok := faultinject.AsFault(err); ok {
 			return nil, fe
@@ -170,8 +258,16 @@ func (s *Solver) SolveDetailedContext(ctx context.Context, c *lsap.Matrix) (*Res
 	if err := a.Validate(n); err != nil {
 		return nil, fmt.Errorf("ipuauction: produced invalid matching: %w", err)
 	}
+	// Read the final prices back and derive feasible duals host-side:
+	// the certificate attached to every result, exact or bounded.
+	prices, err := eng.HostRead(b.price)
+	if err != nil {
+		return nil, fmt.Errorf("ipuauction: price readback failed: %w", err)
+	}
+	pots := lsap.PriceDuals(c, prices)
+	gap := lsap.NormalizedGap(a.Cost(c), pots.DualObjective())
 	return &Result{
-		Solution: &lsap.Solution{Assignment: a, Cost: a.Cost(c)},
+		Solution: &lsap.Solution{Assignment: a, Cost: a.Cost(c), Potentials: &pots, Gap: gap},
 		Stats:    dev.Stats(),
 		Modeled:  dev.ModeledTime(),
 	}, nil

@@ -167,8 +167,14 @@ func VerifyOptimalWithBound(c *Matrix, a Assignment, p Potentials, tol float64) 
 type Solution struct {
 	Assignment Assignment
 	Cost       float64
-	// Potentials is non-nil when the solver can certify optimality.
+	// Potentials is non-nil when the solver can certify optimality (or,
+	// for bounded-quality solvers, near-optimality; see Gap).
 	Potentials *Potentials
+	// Gap is the certified normalized optimality gap under Potentials:
+	// NormalizedGap(Cost, Potentials.DualObjective()). Exact solvers
+	// leave it 0; bounded-quality solvers report the gap they attested,
+	// which is at most the ε they were asked for.
+	Gap float64
 }
 
 // Solver is the interface shared by every LSAP implementation in this

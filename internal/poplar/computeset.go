@@ -59,6 +59,19 @@ type ComputeSet struct {
 	exchOut    map[int]int64 // per-tile bytes sent
 	crossBytes int64         // traffic crossing chips
 	byTile     map[int][]*Vertex
+	// Per-superstep execution scratch, laid out at compile time so the
+	// hot superstep loop (Engine.runComputeSet) allocates nothing:
+	// tiles is byTile's key set sorted ascending; tileCycles[i] and
+	// tileThreads[i] are the per-vertex-cycle and per-thread scratch of
+	// tiles[i]; timeScratch collects tile times in the fork-join path.
+	// Safe to reuse across runs — a compiled program serializes runs
+	// (see core.CompiledProgram), and within one superstep concurrent
+	// workers touch disjoint tile indices.
+	tiles       []int
+	tileCycles  [][]int64
+	tileThreads [][]int64
+	tileWorkers []Worker
+	timeScratch []int64
 }
 
 // AddComputeSet declares a new, empty compute set.

@@ -219,6 +219,23 @@ func (e *Engine) compileComputeSet(cs *ComputeSet) error {
 		cs.byTile[v.Tile] = append(cs.byTile[v.Tile], v)
 	}
 
+	// Lay out the per-superstep execution scratch once: the sorted tile
+	// schedule plus each tile's cycle and thread buffers.
+	tiles := make([]int, 0, len(cs.byTile))
+	for t := range cs.byTile {
+		tiles = append(tiles, t)
+	}
+	sort.Ints(tiles)
+	cs.tiles = tiles
+	cs.tileCycles = make([][]int64, len(cs.tiles))
+	cs.tileThreads = make([][]int64, len(cs.tiles))
+	for i, t := range cs.tiles {
+		cs.tileCycles[i] = make([]int64, len(cs.byTile[t]))
+		cs.tileThreads[i] = make([]int64, cfg.ThreadsPerTile)
+	}
+	cs.tileWorkers = make([]Worker, len(cs.tiles))
+	cs.timeScratch = make([]int64, len(cs.tiles))
+
 	// Static exchange profile: any declared slice not resident on the
 	// vertex's tile moves over the fabric. Reads are deduplicated per
 	// (slice, receiving tile) and the sender is charged once per slice
@@ -312,19 +329,14 @@ func (e *Engine) runComputeSet(cs *ComputeSet) error {
 	tileTime := e.scratch.tileTime
 	clear(tileTime)
 	cfg := e.graph.cfg
-
-	tiles := make([]int, 0, len(cs.byTile))
-	for t := range cs.byTile {
-		tiles = append(tiles, t)
-	}
-	sort.Ints(tiles)
+	tiles := cs.tiles
 
 	if e.parallel <= 1 || len(cs.vertices) < 128 {
-		for _, t := range tiles {
-			tileTime[t] = runTileVertices(cfg, cs, t)
+		for i, t := range tiles {
+			tileTime[t] = runTileVertices(cfg, cs, i)
 		}
 	} else {
-		times := make([]int64, len(tiles))
+		times := cs.timeScratch
 		var wg sync.WaitGroup
 		chunk := (len(tiles) + e.parallel - 1) / e.parallel
 		for lo := 0; lo < len(tiles); lo += chunk {
@@ -337,7 +349,7 @@ func (e *Engine) runComputeSet(cs *ComputeSet) error {
 			go func(lo, hi int) {
 				defer wg.Done()
 				for i := lo; i < hi; i++ {
-					times[i] = runTileVertices(cfg, cs, tiles[i])
+					times[i] = runTileVertices(cfg, cs, i)
 				}
 			}(lo, hi)
 		}
@@ -374,16 +386,22 @@ func (e *Engine) runComputeSet(cs *ComputeSet) error {
 	return e.checkBudget()
 }
 
-// runTileVertices executes one tile's vertices and returns the tile's
-// modeled compute time. A top-level function (not a closure) so the
-// hot superstep loop allocates nothing to call it.
-func runTileVertices(cfg ipu.Config, cs *ComputeSet, tile int) int64 {
-	vs := cs.byTile[tile]
-	cycles := make([]int64, len(vs))
+// runTileVertices executes the vertices of the idx-th scheduled tile
+// and returns that tile's modeled compute time. A top-level function
+// (not a closure) using compile-time scratch (cs.tileCycles,
+// cs.tileThreads) so the hot superstep loop allocates nothing to call
+// it.
+func runTileVertices(cfg ipu.Config, cs *ComputeSet, idx int) int64 {
+	vs := cs.byTile[cs.tiles[idx]]
+	cycles := cs.tileCycles[idx]
+	// One Worker per tile, not per vertex: &w escapes into the codelet
+	// call, so a loop-local Worker would heap-allocate once per vertex
+	// per superstep — the single largest allocation site in a solve.
+	w := &cs.tileWorkers[idx]
 	for i, v := range vs {
-		var w Worker
-		v.Run(&w)
+		w.cycles = 0
+		v.Run(w)
 		cycles[i] = w.cycles
 	}
-	return cfg.TileTime(cycles)
+	return cfg.TileTimeInto(cycles, cs.tileThreads[idx])
 }

@@ -54,6 +54,17 @@ type Metrics struct {
 	// fabrics.
 	Retransmits atomic.Int64
 	Quarantined atomic.Int64
+	// Degradation-ladder telemetry (see Config.BrownoutTiers and
+	// hunipu.WithQuality): Brownouts counts requests served at a looser
+	// quality tier than they asked for, BoundedSolves counts responses
+	// served at Bounded(ε>0), WarmStarts counts solves seeded from the
+	// per-key dual cache, and GapSumMicros accumulates the certified
+	// normalized gaps of bounded responses in micro-units (divide by
+	// 1e6·BoundedSolves for the mean delivered gap).
+	Brownouts     atomic.Int64
+	BoundedSolves atomic.Int64
+	WarmStarts    atomic.Int64
+	GapSumMicros  atomic.Int64
 }
 
 // devIdx guards the fixed-size per-device arrays against out-of-range
@@ -125,6 +136,12 @@ func (m *Metrics) snapshot() map[string]any {
 			"rollbacks":    m.ShardRollbacks.Load(),
 			"retransmits":  m.Retransmits.Load(),
 			"quarantined":  m.Quarantined.Load(),
+		},
+		"bounded": map[string]any{
+			"brownouts":      m.Brownouts.Load(),
+			"bounded_solves": m.BoundedSolves.Load(),
+			"warm_starts":    m.WarmStarts.Load(),
+			"gap_sum":        float64(m.GapSumMicros.Load()) / 1e6,
 		},
 	}
 }

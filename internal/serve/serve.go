@@ -18,6 +18,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -34,6 +35,18 @@ type Request struct {
 	Costs [][]float64
 	// Maximize solves a maximisation problem.
 	Maximize bool
+	// Quality is the requested rung of the degradation ladder: Exact
+	// (the zero value) or Bounded(ε). The brownout controller may
+	// serve a *looser* tier than requested under pressure (see
+	// Config.BrownoutTiers) — never a stricter one — and the response
+	// reports the tier that actually served via Result.Quality/Gap.
+	Quality hunipu.Quality
+	// Key, when non-empty, names the client's solve stream: the duals
+	// of each successful solve are cached under it and warm-start the
+	// next same-shaped solve with the same key (tracking workloads
+	// re-solve near-identical matrices every frame). Off by default;
+	// see Config.WarmCacheSize.
+	Key string
 }
 
 // Config tunes a Server. The zero value is usable: ladder
@@ -88,6 +101,26 @@ type Config struct {
 	OnBreakerChange func(d hunipu.Device, from, to BreakerState)
 	// Now is the clock (tests inject a fake one). nil means time.Now.
 	Now func() time.Time
+	// BrownoutTiers arms the brownout controller: the ε ladder
+	// (ascending, each finite and > 0) a request may be degraded along
+	// instead of being shed. A request whose remaining deadline cannot
+	// cover its requested tier's modeled cost is served at the
+	// strictest listed tier that still fits (bounded solves terminate
+	// early and are certified within their ε — see hunipu.WithQuality);
+	// only when not even the loosest tier fits is it shed with
+	// ErrDeadlineTooShort. Queue pressure (see BrownoutQueueFraction)
+	// degrades exact requests to the first tier pre-emptively. Empty
+	// disables brownouts: requests run exactly at their requested tier.
+	BrownoutTiers []float64
+	// BrownoutQueueFraction is the queue fill fraction above which the
+	// controller starts degrading exact requests to BrownoutTiers[0]
+	// even with a comfortable deadline. 0 means 0.75; ≥ 1 disables
+	// pressure-triggered brownouts (deadline-triggered ones remain).
+	BrownoutQueueFraction float64
+	// WarmCacheSize bounds the per-key dual cache for streaming
+	// clients (Request.Key): 0 means 128 keys, negative disables the
+	// cache entirely.
+	WarmCacheSize int
 }
 
 // withDefaults resolves zero fields.
@@ -109,6 +142,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Now == nil {
 		c.Now = time.Now
+	}
+	if c.BrownoutQueueFraction == 0 {
+		c.BrownoutQueueFraction = 0.75
+	}
+	if c.WarmCacheSize == 0 {
+		c.WarmCacheSize = 128
 	}
 	c.Breaker = c.Breaker.withDefaults()
 	return c
@@ -134,6 +173,7 @@ type Server struct {
 	queue    chan *item
 	breakers map[hunipu.Device]*breaker
 	model    *costModel
+	warm     *warmCache
 	metrics  Metrics
 
 	mu        sync.RWMutex // guards queue close vs Submit send
@@ -161,6 +201,20 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MinShardDevices < 0 || (cfg.MinShardDevices > 0 && cfg.Shards == 0) || cfg.MinShardDevices > cfg.Shards {
 		return nil, fmt.Errorf("serve: MinShardDevices = %d with Shards = %d, want in [0, Shards] and Shards set", cfg.MinShardDevices, cfg.Shards)
 	}
+	if cfg.BrownoutQueueFraction < 0 {
+		return nil, fmt.Errorf("serve: BrownoutQueueFraction = %g, want ≥ 0", cfg.BrownoutQueueFraction)
+	}
+	for i, eps := range cfg.BrownoutTiers {
+		if math.IsNaN(eps) || math.IsInf(eps, 0) || eps <= 0 {
+			return nil, fmt.Errorf("serve: BrownoutTiers[%d] = %g, want finite > 0", i, eps)
+		}
+		if i > 0 && eps <= cfg.BrownoutTiers[i-1] {
+			return nil, fmt.Errorf("serve: BrownoutTiers must be strictly ascending, got %v", cfg.BrownoutTiers)
+		}
+	}
+	if len(cfg.BrownoutTiers) > 0 && cfg.Shards > 0 {
+		return nil, fmt.Errorf("serve: BrownoutTiers do not compose with Shards (bounded quality is unsharded)")
+	}
 	seen := map[hunipu.Device]bool{}
 	for _, d := range cfg.Devices {
 		if d != hunipu.DeviceIPU && d != hunipu.DeviceGPU && d != hunipu.DeviceCPU {
@@ -176,6 +230,7 @@ func New(cfg Config) (*Server, error) {
 		queue:    make(chan *item, cfg.QueueDepth),
 		breakers: make(map[hunipu.Device]*breaker),
 		model:    newCostModel(cfg.SeedCostPerCell),
+		warm:     newWarmCache(cfg.WarmCacheSize),
 	}
 	//hunipulint:ignore ctxflow server-lifetime root context; Stop calls hardCancel
 	s.hardCtx, s.hardCancel = context.WithCancel(context.Background())
@@ -248,18 +303,66 @@ func (s *Server) Ready() bool {
 }
 
 // cheapestEstimate is the lowest modeled solve time across devices
-// the breakers would currently admit.
-func (s *Server) cheapestEstimate(n int) (time.Duration, bool) {
+// the breakers would currently admit, at the given quality tier.
+func (s *Server) cheapestEstimate(n int, bounded bool) (time.Duration, bool) {
 	best, found := time.Duration(0), false
 	for _, d := range s.cfg.Devices {
 		if !s.breakers[d].available() {
 			continue
 		}
-		if est := s.model.Estimate(d, n); !found || est < best {
+		if est := s.model.Estimate(d, n, bounded); !found || est < best {
 			best, found = est, true
 		}
 	}
 	return best, found
+}
+
+// qualityLadder lists the tiers a request may be served at, strictest
+// first: the requested tier, then every configured brownout tier
+// looser than it. The controller never tightens a request's quality.
+func (s *Server) qualityLadder(req hunipu.Quality) []hunipu.Quality {
+	ladder := []hunipu.Quality{req}
+	for _, eps := range s.cfg.BrownoutTiers {
+		if !req.IsBounded() || eps > req.Epsilon() {
+			ladder = append(ladder, hunipu.Bounded(eps))
+		}
+	}
+	return ladder
+}
+
+// chooseQuality is the brownout controller's gate, run at dequeue time
+// against the *remaining* deadline: it returns the strictest tier of
+// the request's ladder whose modeled cost still fits. Queue pressure
+// above BrownoutQueueFraction skips the requested tier of an exact
+// request (degrading it to the first brownout rung) even when the
+// deadline is comfortable. ok is false when not even the loosest tier
+// fits — the caller sheds with ErrDeadlineTooShort rather than burn a
+// worker on an answer the client can never use.
+func (s *Server) chooseQuality(req hunipu.Quality, n int, remaining time.Duration, hasDeadline bool) (hunipu.Quality, bool) {
+	ladder := s.qualityLadder(req)
+	start := 0
+	if len(ladder) > 1 && !req.IsBounded() && s.underPressure() {
+		start = 1
+	}
+	if !hasDeadline {
+		return ladder[start], true
+	}
+	for _, q := range ladder[start:] {
+		est, avail := s.cheapestEstimate(n, q.IsBounded() && q.Epsilon() > 0)
+		if avail && est <= remaining {
+			return q, true
+		}
+	}
+	return hunipu.Quality{}, false
+}
+
+// underPressure reports whether the admission queue is filled past the
+// brownout fraction.
+func (s *Server) underPressure() bool {
+	if s.cfg.BrownoutQueueFraction >= 1 || s.cfg.QueueDepth == 0 {
+		return false
+	}
+	return float64(len(s.queue)) >= s.cfg.BrownoutQueueFraction*float64(s.cfg.QueueDepth)
 }
 
 // Submit admits, queues, and executes one request, blocking until the
@@ -272,8 +375,14 @@ func (s *Server) Submit(ctx context.Context, req Request) (*hunipu.Result, error
 	}
 	n := len(req.Costs)
 	if deadline, ok := ctx.Deadline(); ok {
+		// Arrival fast-path: shed only requests not even the *loosest*
+		// admissible tier could serve in time. The binding check runs
+		// again at dequeue against the remaining deadline (see process),
+		// where the brownout controller picks the actual tier.
 		remaining := deadline.Sub(s.cfg.Now())
-		est, avail := s.cheapestEstimate(n)
+		ladder := s.qualityLadder(req.Quality)
+		loosest := ladder[len(ladder)-1]
+		est, avail := s.cheapestEstimate(n, loosest.IsBounded() && loosest.Epsilon() > 0)
 		if !avail {
 			s.metrics.ShedNoDevice.Add(1)
 			return nil, ErrNoDevice
@@ -336,6 +445,27 @@ func (s *Server) process(it *item) {
 		return
 	}
 
+	// The binding deadline gate runs here, at dequeue, against the
+	// *remaining* deadline — queue wait has already eaten into it, so
+	// the arrival-time check alone would happily start solves whose
+	// answers can only arrive dead. The brownout controller widens ε
+	// before giving up: shedding is the ladder's last rung, not its
+	// first response to pressure.
+	var remaining time.Duration
+	deadline, hasDeadline := it.ctx.Deadline()
+	if hasDeadline {
+		remaining = deadline.Sub(s.cfg.Now())
+	}
+	quality, ok := s.chooseQuality(it.req.Quality, it.n, remaining, hasDeadline)
+	if !ok {
+		s.metrics.ShedDeadline.Add(1)
+		it.done <- outcome{nil, fmt.Errorf("%w: %v remaining at dequeue for n=%d", ErrDeadlineTooShort, remaining, it.n)}
+		return
+	}
+	if quality != it.req.Quality {
+		s.metrics.Brownouts.Add(1)
+	}
+
 	var picks []pick
 	for _, d := range s.cfg.Devices {
 		if ok, probe := s.breakers[d].acquire(); ok {
@@ -369,7 +499,9 @@ func (s *Server) process(it *item) {
 	if s.cfg.GuardSet || s.cfg.Guard != hunipu.GuardOff {
 		opts = append(opts, hunipu.WithGuard(s.cfg.Guard))
 	}
-	if s.cfg.Shards > 0 {
+	if s.cfg.Shards > 0 && !(quality.IsBounded() && quality.Epsilon() > 0) {
+		// Bounded quality is unsharded (hunipu rejects the combination);
+		// a bounded request on a sharded server runs single-device.
 		opts = append(opts, hunipu.WithShards(s.cfg.Shards))
 		if s.cfg.MinShardDevices > 0 {
 			opts = append(opts, hunipu.WithMinShardFabric(s.cfg.MinShardDevices))
@@ -379,8 +511,22 @@ func (s *Server) process(it *item) {
 	if it.req.Maximize {
 		opts = append(opts, hunipu.Maximize())
 	}
+	if quality.IsBounded() {
+		opts = append(opts, hunipu.WithQuality(quality))
+	}
+	rows, cols := it.n, 0
+	if rows > 0 {
+		cols = len(it.req.Costs[0])
+	}
+	if prior := s.warm.get(it.req.Key, rows, cols); prior != nil {
+		opts = append(opts, hunipu.WithWarmStart(prior.U, prior.V))
+		s.metrics.WarmStarts.Add(1)
+	}
 
 	res, err := hunipu.SolveContext(ctx, it.req.Costs, opts...)
+	if err == nil && res.Duals != nil {
+		s.warm.put(it.req.Key, rows, cols, res.Duals)
+	}
 	s.settle(picks, it.n, res, err)
 	it.done <- outcome{res, err}
 }
@@ -434,7 +580,12 @@ func (s *Server) settle(picks []pick, n int, res *hunipu.Result, err error) {
 			slow := s.cfg.LatencyBudget > 0 && att.Wall > s.cfg.LatencyBudget
 			s.breakers[p.dev].record(p.probe, slow)
 			s.metrics.Served[devIdx(p.dev)].Add(1)
-			s.model.Observe(p.dev, n, att.Wall)
+			bounded := att.Quality.IsBounded() && att.Quality.Epsilon() > 0
+			s.model.Observe(p.dev, n, att.Wall, bounded)
+			if bounded {
+				s.metrics.BoundedSolves.Add(1)
+				s.metrics.GapSumMicros.Add(int64(att.Gap * 1e6))
+			}
 		case errors.Is(att.Err, context.Canceled) || errors.Is(att.Err, context.DeadlineExceeded):
 			// The caller walked away (or drain cancelled us): not the
 			// device's fault.

@@ -180,13 +180,13 @@ func TestShedDeadlineTooShort(t *testing.T) {
 func TestCostModelLearnsFromTraffic(t *testing.T) {
 	s := newTestServer(t, Config{Workers: 1, SeedCostPerCell: time.Millisecond})
 	costs := testCosts(16, 5)
-	seeded := s.model.Estimate(hunipu.DeviceIPU, 16)
+	seeded := s.model.Estimate(hunipu.DeviceIPU, 16, false)
 	for i := 0; i < 3; i++ {
 		if _, err := s.Submit(context.Background(), Request{Costs: costs}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	learned := s.model.Estimate(hunipu.DeviceIPU, 16)
+	learned := s.model.Estimate(hunipu.DeviceIPU, 16, false)
 	if learned == seeded {
 		t.Fatalf("estimate unchanged after 3 observations: %v", learned)
 	}

@@ -86,6 +86,12 @@ func WithRecovery(maxRetries int, backoff time.Duration) Option {
 type Attempt struct {
 	// Device is the device tried.
 	Device Device
+	// Quality is the tier this attempt ran at, Gap the normalized
+	// optimality gap it certified (0 on the exact path), and
+	// WarmStarted whether a WithWarmStart prior seeded it.
+	Quality     Quality
+	Gap         float64
+	WarmStarted bool
 	// Err is why the attempt failed (nil for the serving attempt).
 	Err error
 	// Wall is the real time this attempt took, queueing excluded.
@@ -212,6 +218,12 @@ func (c *config) validate() error {
 			return fmt.Errorf("hunipu: WithMinShardFabric: min = %d, want in [1, %d]: %w", c.minFabric, c.shards, ErrInvalidOption)
 		}
 	}
+	if !c.quality.valid() {
+		return fmt.Errorf("hunipu: WithQuality: ε = %g, want finite ≥ 0: %w", c.quality.Epsilon(), ErrInvalidOption)
+	}
+	if c.quality.IsBounded() && c.quality.Epsilon() > 0 && c.shards > 0 {
+		return fmt.Errorf("hunipu: bounded quality does not compose with WithShards: %w", ErrInvalidOption)
+	}
 	seen := map[Device]bool{c.device: true}
 	for _, d := range c.fallback {
 		if !d.known() {
@@ -251,6 +263,24 @@ func SolveContext(ctx context.Context, costs [][]float64, opts ...Option) (*Resu
 	}
 	start := time.Now()
 
+	// Degradation-ladder preparation: clamp any warm-start prior to
+	// feasibility for this matrix, then pick the path. Bounded(ε>0)
+	// consumes the prior as auction prices; the exact path consumes it
+	// by dual pre-reduction (tight prior edges become zeros, so the
+	// solved prefix of a streaming workload costs no augmenting work).
+	var prior *lsap.Potentials
+	if c.warmSet && m.N > 0 {
+		prior, err = c.prepWarm(m, rowsN, colsN)
+		if err != nil {
+			return nil, err
+		}
+	}
+	bounded := c.quality.IsBounded() && c.quality.Epsilon() > 0
+	exactM := m
+	if prior != nil && !bounded {
+		exactM = reduceMatrix(m, *prior)
+	}
+
 	devices := append([]Device{c.device}, c.fallback...)
 	report := &Report{Primary: c.device, Served: c.device}
 	var (
@@ -261,7 +291,12 @@ func SolveContext(ctx context.Context, costs [][]float64, opts ...Option) (*Resu
 	for _, d := range devices {
 		t0 := time.Now()
 		var att Attempt
-		sol, modeled, att = c.solveOn(ctx, d, m)
+		if bounded {
+			sol, modeled, att = c.solveBounded(ctx, d, m, prior)
+		} else {
+			sol, modeled, att = c.solveOn(ctx, d, exactM)
+			att.WarmStarted = prior != nil
+		}
 		att.Wall = time.Since(t0)
 		report.Attempts = append(report.Attempts, att)
 		if att.Err == nil {
@@ -291,14 +326,35 @@ func SolveContext(ctx context.Context, costs [][]float64, opts ...Option) (*Resu
 		}
 		a[i] = j
 	}
-	return &Result{
+	res := &Result{
 		Assignment: a,
 		Cost:       cost,
 		Device:     report.Served,
 		Modeled:    modeled,
 		Wall:       time.Since(start),
 		Report:     report,
-	}, nil
+		Quality:    c.quality,
+		Gap:        sol.Gap,
+	}
+	if sol.Potentials != nil {
+		// An exact solve on the pre-reduced matrix certifies c−u′−v′;
+		// adding the prior back makes the potentials a certificate for
+		// the original matrix again, and trimming drops the padding.
+		d := &Duals{
+			U: append([]float64(nil), sol.Potentials.U[:rowsN]...),
+			V: append([]float64(nil), sol.Potentials.V[:colsN]...),
+		}
+		if prior != nil && !bounded {
+			for i := range d.U {
+				d.U[i] += prior.U[i]
+			}
+			for j := range d.V {
+				d.V[j] += prior.V[j]
+			}
+		}
+		res.Duals = d
+	}
+	return res, nil
 }
 
 // injectorFor resolves the injector for one device attempt: a shared
